@@ -1,0 +1,92 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation and writes the combined report to stdout (and optionally a
+// file). The scale flag trades fidelity for wall-clock time: 1.0 builds the
+// paper's full-size benchmarks.
+//
+// Usage:
+//
+//	experiments -scale 0.5 -out EXPERIMENTS_DATA.txt
+//	experiments -only table4,fig4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"tmi3d/internal/core"
+	"tmi3d/internal/tech"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.5, "circuit scale (1.0 = paper size)")
+	out := flag.String("out", "", "also write the report to this file")
+	only := flag.String("only", "", "comma-separated experiment ids (e.g. table4,fig4); empty = all")
+	flag.Parse()
+	log.SetFlags(0)
+
+	s := core.NewStudy(*scale)
+	var b strings.Builder
+	fmt.Fprintf(&b, "tmi3d experiment report — scale %.2f — %s\n\n", *scale, time.Now().Format(time.RFC1123))
+
+	want := map[string]bool{}
+	for _, id := range strings.Split(*only, ",") {
+		id = strings.TrimSpace(strings.ToLower(id))
+		if id != "" {
+			want[id] = true
+		}
+	}
+	sel := func(id string) bool { return len(want) == 0 || want[id] }
+
+	type exp struct {
+		id  string
+		gen func() (string, error)
+	}
+	experiments := []exp{
+		{"table1", func() (string, error) { return core.RenderTable1(), nil }},
+		{"table2", core.RenderTable2},
+		{"table3", func() (string, error) { return core.RenderTable3(), nil }},
+		{"table4", func() (string, error) { return s.RenderSummary(tech.N45) }},
+		{"table5", s.RenderTable5},
+		{"table6", func() (string, error) { return core.RenderTable6(), nil }},
+		{"table7", func() (string, error) { return s.RenderSummary(tech.N7) }},
+		{"table8", s.RenderTable8},
+		{"table9", s.RenderTable9},
+		{"table10", func() (string, error) { return core.RenderTable10(), nil }},
+		{"table11", core.RenderTable11},
+		{"table12", s.RenderTable12},
+		{"table13", func() (string, error) { return s.RenderDetail(tech.N45) }},
+		{"table14", func() (string, error) { return s.RenderDetail(tech.N7) }},
+		{"table15", s.RenderTable15},
+		{"table16", s.RenderTable16},
+		{"table17", s.RenderTable17},
+		{"fig4", s.RenderFig4},
+		{"fig6", s.RenderFig6},
+		{"fig10", s.RenderFig10},
+		{"fig11", func() (string, error) { return s.RenderFig11(nil) }},
+	}
+	for _, e := range experiments {
+		if !sel(e.id) {
+			continue
+		}
+		t0 := time.Now()
+		text, err := e.gen()
+		if err != nil {
+			log.Fatalf("%s: %v", e.id, err)
+		}
+		log.Printf("%s done in %v", e.id, time.Since(t0).Round(time.Millisecond))
+		b.WriteString(text)
+		b.WriteString("\n")
+	}
+
+	fmt.Print(b.String())
+	if *out != "" {
+		if err := os.WriteFile(*out, []byte(b.String()), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s", *out)
+	}
+}

@@ -1,0 +1,46 @@
+// Command gdsdump writes the standard-cell library layouts as a binary GDSII
+// stream plus the LEF abstracts — the physical-library artifacts of the
+// paper's Section 2 flow (the Fig 5 cell layouts).
+//
+// Usage:
+//
+//	gdsdump -tmi -out tmi45        → tmi45.gds, tmi45.lef
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+
+	"tmi3d/internal/cellgen"
+	"tmi3d/internal/gds"
+)
+
+func main() {
+	tmi := flag.Bool("tmi", false, "write the folded T-MI library instead of 2D")
+	out := flag.String("out", "cells45", "output file prefix")
+	flag.Parse()
+	log.SetFlags(0)
+
+	name := "nangate45_like_2d"
+	if *tmi {
+		name = "tmi45_folded"
+	}
+	gf, err := os.Create(*out + ".gds")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer gf.Close()
+	if err := gds.WriteCellLibrary(gf, name, *tmi); err != nil {
+		log.Fatal(err)
+	}
+	lf, err := os.Create(*out + ".lef")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer lf.Close()
+	if err := cellgen.WriteLEF(lf, *tmi); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s.gds and %s.lef (66 cells, %s)", *out, *out, name)
+}

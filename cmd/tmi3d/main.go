@@ -1,0 +1,106 @@
+// Command tmi3d runs the full design flow for one benchmark configuration
+// and prints the layout and power report — the quickest way to see one
+// iso-performance comparison point.
+//
+// Usage:
+//
+//	tmi3d -circuit AES -node 45 -mode tmi -scale 0.5
+//	tmi3d -circuit LDPC -compare           # run 2D and T-MI, print the diff
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"tmi3d/internal/flow"
+	"tmi3d/internal/tech"
+)
+
+func main() {
+	circuit := flag.String("circuit", "AES", "benchmark: FPU, AES, LDPC, DES, M256")
+	nodeF := flag.String("node", "45", "process node: 45 or 7")
+	modeF := flag.String("mode", "2d", "design mode: 2d, tmi, tmim")
+	scale := flag.Float64("scale", 0.5, "circuit scale (1.0 = paper size)")
+	clock := flag.Float64("clock", 0, "target clock in ps (paper-equivalent; 0 = Table 12)")
+	compare := flag.Bool("compare", false, "run both 2D and T-MI and print the comparison")
+	dump := flag.String("dump", "", "write <prefix>.v and <prefix>.def implementation artifacts")
+	flag.Parse()
+	log.SetFlags(0)
+
+	node := tech.N45
+	if *nodeF == "7" {
+		node = tech.N7
+	}
+	mode := tech.Mode2D
+	switch strings.ToLower(*modeF) {
+	case "tmi", "3d":
+		mode = tech.ModeTMI
+	case "tmim", "3d+m":
+		mode = tech.ModeTMIM
+	}
+
+	if *compare {
+		r2 := run(flow.Config{Circuit: *circuit, Scale: *scale, Node: node, Mode: tech.Mode2D, ClockPs: *clock})
+		r3 := run(flow.Config{Circuit: *circuit, Scale: *scale, Node: node, Mode: tech.ModeTMI, ClockPs: *clock})
+		print1(r2)
+		print1(r3)
+		d := flow.Diff(r2, r3)
+		fmt.Printf("\nT-MI vs 2D: footprint %+.1f%%  wirelength %+.1f%%  total power %+.1f%%"+
+			" (cell %+.1f%%, net %+.1f%%, leakage %+.1f%%)  buffers %+.1f%%\n",
+			d.Footprint, d.WL, d.Total, d.Cell, d.Net, d.Leakage, d.Buffers)
+		return
+	}
+	r := run(flow.Config{Circuit: *circuit, Scale: *scale, Node: node, Mode: mode, ClockPs: *clock})
+	print1(r)
+	if *dump != "" {
+		writeArtifacts(r, *dump)
+	}
+}
+
+// writeArtifacts emits the final netlist and placement.
+func writeArtifacts(r *flow.Result, prefix string) {
+	vf, err := os.Create(prefix + ".v")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer vf.Close()
+	if err := r.Design.WriteVerilog(vf); err != nil {
+		log.Fatal(err)
+	}
+	df, err := os.Create(prefix + ".def")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer df.Close()
+	if err := r.Placement.WriteDEF(df); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s.v and %s.def", prefix, prefix)
+}
+
+func run(cfg flow.Config) *flow.Result {
+	r, err := flow.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return r
+}
+
+func print1(r *flow.Result) {
+	met := "MET"
+	if r.WNS < 0 {
+		met = "VIOLATED"
+	}
+	fmt.Printf("\n%s %v %v @ %.0f ps (calibrated)\n", r.Config.Circuit, r.Config.Node, r.Config.Mode, r.ClockPs)
+	fmt.Printf("  footprint : %.0f µm² (%.1f × %.1f µm), utilization %.1f%%\n", r.Footprint, r.DieW, r.DieH, r.Util*100)
+	fmt.Printf("  cells     : %d (%d buffers), cell area %.0f µm²\n", r.NumCells, r.NumBuffers, r.CellArea)
+	fmt.Printf("  wirelength: %.4f m (local %.0f / intermediate %.0f / global %.0f µm)\n",
+		r.TotalWL/1e6, r.WLByClass[tech.ClassM1]+r.WLByClass[tech.ClassLocal],
+		r.WLByClass[tech.ClassIntermediate], r.WLByClass[tech.ClassGlobal])
+	fmt.Printf("  timing    : WNS %+.0f ps (%s)\n", r.WNS, met)
+	fmt.Printf("  power     : %.3f mW total = cell %.3f + net %.3f (wire %.3f + pin %.3f) + leakage %.3f\n",
+		r.Power.Total, r.Power.Cell, r.Power.Net, r.Power.Wire, r.Power.Pin, r.Power.Leakage)
+}

@@ -1,0 +1,14 @@
+// Package tmi3d reproduces "Power Benefit Study for Ultra-High Density
+// Transistor-Level Monolithic 3D ICs" (Lee, Limbrick, Lim — DAC 2013) as a
+// self-contained Go library: a transistor-level monolithic 3D standard-cell
+// library with SPICE-based characterization, a complete RTL-to-layout flow
+// (synthesis, placement, routing, optimization, sign-off timing and power),
+// the paper's five benchmark circuits, and drivers that regenerate every
+// table and figure of the evaluation.
+//
+// See README.md for the architecture overview, DESIGN.md for the system
+// inventory and per-experiment index, and EXPERIMENTS.md for the
+// paper-versus-measured record. The public entry points live in
+// internal/core (the study API) and internal/flow (single design runs); the
+// cmd/ directory holds runnable tools and examples/ holds worked examples.
+package tmi3d

@@ -1,0 +1,70 @@
+// Circuitcharacter reproduces the paper's Section 4.3 study: why does LDPC
+// gain so much more from monolithic 3D than DES, even though the two designs
+// have similar size and fanout? The answer is circuit character — LDPC's
+// pseudo-random parity-check connections make long, wire-cap dominated nets,
+// while DES's S-box clusters keep nets short and pin-cap dominated; shrinking
+// the footprint only helps the wire part.
+//
+//	go run ./examples/circuitcharacter
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tmi3d/internal/flow"
+	"tmi3d/internal/tech"
+)
+
+func main() {
+	log.SetFlags(0)
+	const scale = 0.3
+
+	type row struct {
+		name string
+		r2   *flow.Result
+		r3   *flow.Result
+	}
+	var rows []row
+	for _, name := range []string{"LDPC", "DES"} {
+		var pair [2]*flow.Result
+		for i, mode := range []tech.Mode{tech.Mode2D, tech.ModeTMI} {
+			r, err := flow.Run(flow.Config{Circuit: name, Scale: scale, Node: tech.N45, Mode: mode})
+			if err != nil {
+				log.Fatal(err)
+			}
+			pair[i] = r
+		}
+		rows = append(rows, row{name, pair[0], pair[1]})
+	}
+
+	fmt.Println("Circuit character: LDPC vs DES at 45nm (Section 4.3 / Table 16)")
+	fmt.Printf("\n%-22s %14s %14s\n", "", "LDPC", "DES")
+	get := func(f func(*flow.Result) float64) [2][2]float64 {
+		return [2][2]float64{
+			{f(rows[0].r2), f(rows[0].r3)},
+			{f(rows[1].r2), f(rows[1].r3)},
+		}
+	}
+	prow := func(label string, v [2][2]float64, unit string) {
+		fmt.Printf("%-22s %6.2f→%-6.2f %6.2f→%-6.2f %s\n",
+			label, v[0][0], v[0][1], v[1][0], v[1][1], unit)
+	}
+	prow("wire cap (2D→3D)", get(func(r *flow.Result) float64 { return r.Power.WireCap }), "pF")
+	prow("pin cap", get(func(r *flow.Result) float64 { return r.Power.PinCap }), "pF")
+	prow("wire power", get(func(r *flow.Result) float64 { return r.Power.Wire }), "mW")
+	prow("pin power", get(func(r *flow.Result) float64 { return r.Power.Pin }), "mW")
+	prow("buffers (k)", get(func(r *flow.Result) float64 { return float64(r.NumBuffers) / 1000 }), "")
+	prow("total power", get(func(r *flow.Result) float64 { return r.Power.Total }), "mW")
+
+	for _, r := range rows {
+		avg2 := r.r2.TotalWL / float64(r.r2.NumCells)
+		red := (1 - r.r3.Power.Total/r.r2.Power.Total) * 100
+		wireShare := r.r2.Power.Wire / r.r2.Power.Net * 100
+		fmt.Printf("\n%s: avg wire %.1f µm/cell, wire share of net power %.0f%% → T-MI saves %.1f%%",
+			r.name, avg2, wireShare, red)
+	}
+	fmt.Println()
+	fmt.Println("\nWire-dominated LDPC converts its footprint shrink into large power")
+	fmt.Println("savings; pin-dominated DES cannot — the paper's central finding.")
+}

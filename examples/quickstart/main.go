@@ -1,0 +1,48 @@
+// Quickstart: run one iso-performance power comparison — the AES benchmark
+// at 45nm, built both as a conventional 2D design and as a transistor-level
+// monolithic 3D (T-MI) design, at the same target clock — and print the
+// power benefit, reproducing one row of the paper's Table 4.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tmi3d/internal/flow"
+	"tmi3d/internal/tech"
+)
+
+func main() {
+	log.SetFlags(0)
+	const scale = 0.3 // 30% of the paper's AES size: a few seconds of runtime
+
+	fmt.Println("Building AES at 45nm, 2D vs transistor-level monolithic 3D...")
+	var results [2]*flow.Result
+	for i, mode := range []tech.Mode{tech.Mode2D, tech.ModeTMI} {
+		r, err := flow.Run(flow.Config{
+			Circuit: "AES",
+			Scale:   scale,
+			Node:    tech.N45,
+			Mode:    mode,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		results[i] = r
+		fmt.Printf("\n%v design:\n", mode)
+		fmt.Printf("  footprint   %8.0f µm²  (%.0f × %.0f µm)\n", r.Footprint, r.DieW, r.DieH)
+		fmt.Printf("  cells       %8d      (%d buffers)\n", r.NumCells, r.NumBuffers)
+		fmt.Printf("  wirelength  %8.3f m\n", r.TotalWL/1e6)
+		fmt.Printf("  timing      %+8.0f ps slack at %.0f ps clock\n", r.WNS, r.ClockPs)
+		fmt.Printf("  power       %8.3f mW  (cell %.3f + net %.3f + leakage %.3f)\n",
+			r.Power.Total, r.Power.Cell, r.Power.Net, r.Power.Leakage)
+	}
+
+	d := flow.Diff(results[0], results[1])
+	fmt.Printf("\nT-MI versus 2D at the same clock (iso-performance):\n")
+	fmt.Printf("  footprint  %+.1f%%   (paper Table 4: -42.4%%)\n", d.Footprint)
+	fmt.Printf("  wirelength %+.1f%%   (paper: -23.6%%)\n", d.WL)
+	fmt.Printf("  total power %+.1f%%  (paper: -10.9%%)\n", d.Total)
+}

@@ -1,0 +1,3 @@
+module tmi3d
+
+go 1.22

@@ -1,0 +1,151 @@
+package captable
+
+import (
+	"math"
+	"testing"
+
+	"tmi3d/internal/tech"
+)
+
+func within(t *testing.T, name string, got, want, relTol float64) {
+	t.Helper()
+	if want == 0 {
+		t.Fatalf("%s: zero reference", name)
+	}
+	if math.Abs(got-want)/math.Abs(want) > relTol {
+		t.Errorf("%s = %.4g, want %.4g (±%.0f%%)", name, got, want, relTol*100)
+	}
+}
+
+// Section 5 anchors: the unit R/C the paper quotes from its EM-simulated
+// capTables. Our generator must land close to all eight values.
+func TestSection5Anchors(t *testing.T) {
+	t45 := Build(tech.New(tech.N45, tech.Mode2D), Options{})
+	t7 := Build(tech.New(tech.N7, tech.Mode2D), Options{})
+
+	m2_45, _ := t45.Lookup("M2")
+	m8_45, _ := t45.Lookup("M8")
+	m2_7, _ := t7.Lookup("M2")
+	m8_7, _ := t7.Lookup("M8")
+
+	within(t, "45nm M2 R", m2_45.R, 3.57, 0.05)
+	within(t, "45nm M8 R", m8_45.R, 0.188, 0.05)
+	within(t, "7nm M2 R", m2_7.R, 638, 0.05)
+	within(t, "7nm M8 R", m8_7.R, 2.650, 0.05)
+
+	within(t, "45nm M2 C", m2_45.C, 0.106, 0.05)
+	within(t, "45nm M8 C", m8_45.C, 0.100, 0.05)
+	within(t, "7nm M2 C", m2_7.C, 0.153, 0.05)
+	within(t, "7nm M8 C", m8_7.C, 0.095, 0.05)
+}
+
+// The paper's qualitative claims about the 7nm BEOL.
+func TestNodeTrends(t *testing.T) {
+	t45 := Build(tech.New(tech.N45, tech.Mode2D), Options{})
+	t7 := Build(tech.New(tech.N7, tech.Mode2D), Options{})
+	m2a, _ := t45.Lookup("M2")
+	m2b, _ := t7.Lookup("M2")
+	if m2b.R/m2a.R < 100 {
+		t.Errorf("7nm local wires should be dramatically more resistive: ratio=%.1f", m2b.R/m2a.R)
+	}
+	if m2b.C <= m2a.C {
+		t.Error("7nm local unit capacitance should exceed 45nm despite lower k")
+	}
+	m8a, _ := t45.Lookup("M8")
+	m8b, _ := t7.Lookup("M8")
+	if m8b.C >= m8a.C {
+		t.Error("7nm global unit capacitance should be slightly below 45nm")
+	}
+}
+
+func TestTMIStackEntries(t *testing.T) {
+	tm := Build(tech.New(tech.N45, tech.ModeTMI), Options{})
+	if len(tm.Entries) != 12 {
+		t.Fatalf("T-MI table has %d entries, want 12", len(tm.Entries))
+	}
+	mb1, ok := tm.Lookup("MB1")
+	if !ok {
+		t.Fatal("MB1 missing")
+	}
+	m1, _ := tm.Lookup("M1")
+	// MB1 assumes copper like M1 (Section 3.3), so identical unit R.
+	if math.Abs(mb1.R-m1.R)/m1.R > 1e-9 {
+		t.Errorf("MB1 R=%v differs from M1 R=%v", mb1.R, m1.R)
+	}
+	if tm.MIVR <= 0 || tm.MIVC <= 0 {
+		t.Error("T-MI table should carry MIV parasitics")
+	}
+	d2 := Build(tech.New(tech.N45, tech.Mode2D), Options{})
+	if d2.MIVR != 0 {
+		t.Error("2D table should have zero MIV resistance")
+	}
+}
+
+// Table 9 what-if: halving local+intermediate resistivity must halve exactly
+// those unit resistances and leave capacitance untouched.
+func TestResistivityScale(t *testing.T) {
+	base := Build(tech.New(tech.N7, tech.Mode2D), Options{})
+	mod := Build(tech.New(tech.N7, tech.Mode2D), Options{
+		ResistivityScale: map[tech.LayerClass]float64{
+			tech.ClassM1:           0.5,
+			tech.ClassLocal:        0.5,
+			tech.ClassIntermediate: 0.5,
+		},
+	})
+	for name, b := range base.Entries {
+		m := mod.Entries[name]
+		switch b.Class {
+		case tech.ClassGlobal:
+			if math.Abs(m.R-b.R) > 1e-12 {
+				t.Errorf("%s: global R changed", name)
+			}
+		default:
+			if math.Abs(m.R-b.R/2) > 1e-9 {
+				t.Errorf("%s: R=%v, want %v", name, m.R, b.R/2)
+			}
+		}
+		if math.Abs(m.C-b.C) > 1e-12 {
+			t.Errorf("%s: C changed by resistivity scale", name)
+		}
+	}
+}
+
+func TestClassAverage(t *testing.T) {
+	tb := Build(tech.New(tech.N45, tech.Mode2D), Options{})
+	r, c, ok := tb.ClassAverage(tech.ClassLocal)
+	if !ok {
+		t.Fatal("no local layers")
+	}
+	m2, _ := tb.Lookup("M2")
+	within(t, "local avg R", r, m2.R, 0.01) // both local layers share dimensions
+	within(t, "local avg C", c, m2.C, 0.01)
+	if _, _, ok := tb.ClassAverage(tech.LayerClass(99)); ok {
+		t.Error("unknown class should report !ok")
+	}
+}
+
+func TestNamesSortedAndString(t *testing.T) {
+	tb := Build(tech.New(tech.N45, tech.ModeTMI), Options{})
+	names := tb.Names()
+	if len(names) != 12 {
+		t.Fatalf("Names() = %d entries", len(names))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatal("Names() not sorted")
+		}
+	}
+	if tb.String() == "" {
+		t.Error("empty String()")
+	}
+	if _, ok := tb.Lookup("M99"); ok {
+		t.Error("bogus layer lookup should fail")
+	}
+}
+
+func TestViaResistanceSmall(t *testing.T) {
+	tb := Build(tech.New(tech.N45, tech.Mode2D), Options{})
+	if tb.ViaR <= 0 || tb.ViaR > 50 {
+		t.Errorf("via R = %v Ω, want a few ohms", tb.ViaR)
+	}
+}

@@ -1,0 +1,453 @@
+package cellgen
+
+import "tmi3d/internal/device"
+
+// Template builders for the X1 drive strength of every cell function. The
+// transistor networks are complete and functionally correct — the SPICE
+// characterizer simulates them directly.
+
+func pmos(name, drain, gate, source string, w float64) Transistor {
+	return Transistor{Name: name, Kind: device.PMOS, W: w, Gate: gate, Drain: drain, Source: source}
+}
+
+func nmos(name, drain, gate, source string, w float64) Transistor {
+	return Transistor{Name: name, Kind: device.NMOS, W: w, Gate: gate, Drain: drain, Source: source}
+}
+
+func tINV() CellDef {
+	return CellDef{
+		Base: "INV", Ports: append(inPort("A"), outPort("Z")...),
+		Transistors: []Transistor{
+			pmos("mp", "Z", "A", NetVDD, wp1),
+			nmos("mn", "Z", "A", NetVSS, wn1),
+		},
+		Inputs: []string{"A"}, Outputs: []string{"Z"},
+		Logic: func(in []bool) []bool { return []bool{!in[0]} },
+		Arcs:  []Arc{{From: "A", To: "Z", Negated: true, Side: map[string]bool{}}},
+	}
+}
+
+func tBUF() CellDef {
+	return CellDef{
+		Base: "BUF", Ports: append(inPort("A"), outPort("Z")...),
+		Transistors: []Transistor{
+			pmos("mp1", "n1", "A", NetVDD, wp1),
+			nmos("mn1", "n1", "A", NetVSS, wn1),
+			pmos("mp2", "Z", "n1", NetVDD, wp1*2),
+			nmos("mn2", "Z", "n1", NetVSS, wn1*2),
+		},
+		Inputs: []string{"A"}, Outputs: []string{"Z"},
+		Logic: func(in []bool) []bool { return []bool{in[0]} },
+		Arcs:  []Arc{{From: "A", To: "Z", Side: map[string]bool{}}},
+	}
+}
+
+// tCLKBUF is electrically a buffer tuned for clock nets.
+func tCLKBUF() CellDef {
+	d := tBUF()
+	d.Base = "CLKBUF"
+	return d
+}
+
+func tNAND(n int) CellDef {
+	names := []string{"A", "B", "C", "D"}[:n]
+	wn := wn1
+	d := CellDef{
+		Base:   map[int]string{2: "NAND2", 3: "NAND3", 4: "NAND4"}[n],
+		Ports:  append(inPort(names...), outPort("Z")...),
+		Inputs: names, Outputs: []string{"Z"},
+		Logic: func(in []bool) []bool {
+			all := true
+			for _, v := range in {
+				all = all && v
+			}
+			return []bool{!all}
+		},
+	}
+	// Parallel PMOS pull-up.
+	for i, a := range names {
+		d.Transistors = append(d.Transistors, pmos(fl("mp", i), "Z", a, NetVDD, wp1))
+	}
+	// Series NMOS pull-down.
+	prev := "Z"
+	for i, a := range names {
+		next := NetVSS
+		if i < n-1 {
+			next = fl("nn", i)
+		}
+		d.Transistors = append(d.Transistors, nmos(fl("mn", i), prev, a, next, wn))
+		prev = next
+	}
+	for _, a := range names {
+		side := map[string]bool{}
+		for _, b := range names {
+			if b != a {
+				side[b] = true // non-controlling for NAND
+			}
+		}
+		d.Arcs = append(d.Arcs, Arc{From: a, To: "Z", Negated: true, Side: side})
+	}
+	return d
+}
+
+func tNOR(n int) CellDef {
+	names := []string{"A", "B", "C", "D"}[:n]
+	wp := wp1
+	d := CellDef{
+		Base:   map[int]string{2: "NOR2", 3: "NOR3", 4: "NOR4"}[n],
+		Ports:  append(inPort(names...), outPort("Z")...),
+		Inputs: names, Outputs: []string{"Z"},
+		Logic: func(in []bool) []bool {
+			any := false
+			for _, v := range in {
+				any = any || v
+			}
+			return []bool{!any}
+		},
+	}
+	// Series PMOS pull-up.
+	prev := NetVDD
+	for i, a := range names {
+		next := "Z"
+		if i < n-1 {
+			next = fl("np", i)
+		}
+		d.Transistors = append(d.Transistors, pmos(fl("mp", i), next, a, prev, wp))
+		prev = next
+	}
+	// Parallel NMOS pull-down.
+	for i, a := range names {
+		d.Transistors = append(d.Transistors, nmos(fl("mn", i), "Z", a, NetVSS, wn1))
+	}
+	for _, a := range names {
+		side := map[string]bool{}
+		for _, b := range names {
+			if b != a {
+				side[b] = false // non-controlling for NOR
+			}
+		}
+		d.Arcs = append(d.Arcs, Arc{From: a, To: "Z", Negated: true, Side: side})
+	}
+	return d
+}
+
+func tAND2() CellDef {
+	nand := tNAND(2)
+	d := CellDef{
+		Base: "AND2", Ports: append(inPort("A", "B"), outPort("Z")...),
+		Inputs: []string{"A", "B"}, Outputs: []string{"Z"},
+		Logic: func(in []bool) []bool { return []bool{in[0] && in[1]} },
+	}
+	for _, t := range nand.Transistors {
+		t.Name = "a_" + t.Name
+		if t.Drain == "Z" {
+			t.Drain = "nz"
+		}
+		if t.Source == "Z" {
+			t.Source = "nz"
+		}
+		d.Transistors = append(d.Transistors, t)
+	}
+	d.Transistors = append(d.Transistors,
+		pmos("mpo", "Z", "nz", NetVDD, wp1),
+		nmos("mno", "Z", "nz", NetVSS, wn1))
+	d.Arcs = []Arc{
+		{From: "A", To: "Z", Side: map[string]bool{"B": true}},
+		{From: "B", To: "Z", Side: map[string]bool{"A": true}},
+	}
+	return d
+}
+
+func tOR2() CellDef {
+	nor := tNOR(2)
+	d := CellDef{
+		Base: "OR2", Ports: append(inPort("A", "B"), outPort("Z")...),
+		Inputs: []string{"A", "B"}, Outputs: []string{"Z"},
+		Logic: func(in []bool) []bool { return []bool{in[0] || in[1]} },
+	}
+	for _, t := range nor.Transistors {
+		t.Name = "o_" + t.Name
+		if t.Drain == "Z" {
+			t.Drain = "nz"
+		}
+		if t.Source == "Z" {
+			t.Source = "nz"
+		}
+		d.Transistors = append(d.Transistors, t)
+	}
+	d.Transistors = append(d.Transistors,
+		pmos("mpo", "Z", "nz", NetVDD, wp1),
+		nmos("mno", "Z", "nz", NetVSS, wn1))
+	d.Arcs = []Arc{
+		{From: "A", To: "Z", Side: map[string]bool{"B": false}},
+		{From: "B", To: "Z", Side: map[string]bool{"A": false}},
+	}
+	return d
+}
+
+// xorCore appends the shared 12T complementary XOR/XNOR network. When xnor
+// is true the pull networks are swapped to produce the complement.
+func xorCore(d *CellDef, xnor bool) {
+	// Input inverters.
+	d.Transistors = append(d.Transistors,
+		pmos("mpa", "ab", "A", NetVDD, wp1), nmos("mna", "ab", "A", NetVSS, wn1),
+		pmos("mpb", "bb", "B", NetVDD, wp1), nmos("mnb", "bb", "B", NetVSS, wn1))
+	gA, gAb := "A", "ab"
+	if xnor {
+		gA, gAb = "ab", "A"
+	}
+	d.Transistors = append(d.Transistors,
+		// Pull-up: series pairs (gAb, B) and (gA, bb).
+		pmos("mp1", "p1", gAb, NetVDD, wp1), pmos("mp2", "Z", "B", "p1", wp1),
+		pmos("mp3", "p2", gA, NetVDD, wp1), pmos("mp4", "Z", "bb", "p2", wp1),
+		// Pull-down: series pairs (gA, B) and (gAb, bb).
+		nmos("mn1", "Z", gA, "n1", wn1), nmos("mn2", "n1", "B", NetVSS, wn1),
+		nmos("mn3", "Z", gAb, "n2", wn1), nmos("mn4", "n2", "bb", NetVSS, wn1))
+}
+
+func tXOR2() CellDef {
+	d := CellDef{
+		Base: "XOR2", Ports: append(inPort("A", "B"), outPort("Z")...),
+		Inputs: []string{"A", "B"}, Outputs: []string{"Z"},
+		Logic: func(in []bool) []bool { return []bool{in[0] != in[1]} },
+		Arcs: []Arc{
+			{From: "A", To: "Z", Side: map[string]bool{"B": false}},
+			{From: "B", To: "Z", Side: map[string]bool{"A": false}},
+		},
+	}
+	xorCore(&d, false)
+	return d
+}
+
+func tXNOR2() CellDef {
+	d := CellDef{
+		Base: "XNOR2", Ports: append(inPort("A", "B"), outPort("Z")...),
+		Inputs: []string{"A", "B"}, Outputs: []string{"Z"},
+		Logic: func(in []bool) []bool { return []bool{in[0] == in[1]} },
+		Arcs: []Arc{
+			{From: "A", To: "Z", Negated: true, Side: map[string]bool{"B": false}},
+			{From: "B", To: "Z", Negated: true, Side: map[string]bool{"A": false}},
+		},
+	}
+	xorCore(&d, true)
+	return d
+}
+
+// tMUX2: Z = S ? B : A, transmission-gate style with an output buffer.
+func tMUX2() CellDef {
+	return CellDef{
+		Base: "MUX2", Ports: append(inPort("A", "B", "S"), outPort("Z")...),
+		Transistors: []Transistor{
+			// sb = !S
+			pmos("mps", "sb", "S", NetVDD, wp1), nmos("mns", "sb", "S", NetVSS, wn1),
+			// TG A → t (on when S=0)
+			nmos("mta", "t", "sb", "A", wn1), pmos("mtap", "t", "S", "A", wp1),
+			// TG B → t (on when S=1)
+			nmos("mtb", "t", "S", "B", wn1), pmos("mtbp", "t", "sb", "B", wp1),
+			// Output buffer t → tb → Z
+			pmos("mp1", "tb", "t", NetVDD, wp1), nmos("mn1", "tb", "t", NetVSS, wn1),
+			pmos("mp2", "Z", "tb", NetVDD, wp1), nmos("mn2", "Z", "tb", NetVSS, wn1),
+		},
+		Inputs: []string{"A", "B", "S"}, Outputs: []string{"Z"},
+		Logic: func(in []bool) []bool {
+			if in[2] {
+				return []bool{in[1]}
+			}
+			return []bool{in[0]}
+		},
+		Arcs: []Arc{
+			{From: "A", To: "Z", Side: map[string]bool{"B": false, "S": false}},
+			{From: "B", To: "Z", Side: map[string]bool{"A": false, "S": true}},
+			{From: "S", To: "Z", Side: map[string]bool{"A": false, "B": true}},
+		},
+	}
+}
+
+// tAOI21: Z = !((A·B) + C)
+func tAOI21() CellDef {
+	return CellDef{
+		Base: "AOI21", Ports: append(inPort("A", "B", "C"), outPort("Z")...),
+		Transistors: []Transistor{
+			pmos("mpa", "p1", "A", NetVDD, wp1), pmos("mpb", "p1", "B", NetVDD, wp1),
+			pmos("mpc", "Z", "C", "p1", wp1),
+			nmos("mna", "Z", "A", "n1", wn1), nmos("mnb", "n1", "B", NetVSS, wn1),
+			nmos("mnc", "Z", "C", NetVSS, wn1),
+		},
+		Inputs: []string{"A", "B", "C"}, Outputs: []string{"Z"},
+		Logic: func(in []bool) []bool { return []bool{!((in[0] && in[1]) || in[2])} },
+		Arcs: []Arc{
+			{From: "A", To: "Z", Negated: true, Side: map[string]bool{"B": true, "C": false}},
+			{From: "B", To: "Z", Negated: true, Side: map[string]bool{"A": true, "C": false}},
+			{From: "C", To: "Z", Negated: true, Side: map[string]bool{"A": false, "B": false}},
+		},
+	}
+}
+
+// tAOI22: Z = !((A·B) + (C·D))
+func tAOI22() CellDef {
+	return CellDef{
+		Base: "AOI22", Ports: append(inPort("A", "B", "C", "D"), outPort("Z")...),
+		Transistors: []Transistor{
+			pmos("mpa", "p1", "A", NetVDD, wp1), pmos("mpb", "p1", "B", NetVDD, wp1),
+			pmos("mpc", "Z", "C", "p1", wp1), pmos("mpd", "Z", "D", "p1", wp1),
+			nmos("mna", "Z", "A", "n1", wn1), nmos("mnb", "n1", "B", NetVSS, wn1),
+			nmos("mnc", "Z", "C", "n2", wn1), nmos("mnd", "n2", "D", NetVSS, wn1),
+		},
+		Inputs: []string{"A", "B", "C", "D"}, Outputs: []string{"Z"},
+		Logic: func(in []bool) []bool { return []bool{!((in[0] && in[1]) || (in[2] && in[3]))} },
+		Arcs: []Arc{
+			{From: "A", To: "Z", Negated: true, Side: map[string]bool{"B": true, "C": false, "D": false}},
+			{From: "C", To: "Z", Negated: true, Side: map[string]bool{"D": true, "A": false, "B": false}},
+		},
+	}
+}
+
+// tOAI21: Z = !((A+B) · C)
+func tOAI21() CellDef {
+	return CellDef{
+		Base: "OAI21", Ports: append(inPort("A", "B", "C"), outPort("Z")...),
+		Transistors: []Transistor{
+			pmos("mpa", "p1", "A", NetVDD, wp1), pmos("mpb", "Z", "B", "p1", wp1),
+			pmos("mpc", "Z", "C", NetVDD, wp1),
+			nmos("mnc", "n1", "C", NetVSS, wn1),
+			nmos("mna", "Z", "A", "n1", wn1), nmos("mnb", "Z", "B", "n1", wn1),
+		},
+		Inputs: []string{"A", "B", "C"}, Outputs: []string{"Z"},
+		Logic: func(in []bool) []bool { return []bool{!((in[0] || in[1]) && in[2])} },
+		Arcs: []Arc{
+			{From: "A", To: "Z", Negated: true, Side: map[string]bool{"B": false, "C": true}},
+			{From: "C", To: "Z", Negated: true, Side: map[string]bool{"A": true, "B": false}},
+		},
+	}
+}
+
+// tOAI22: Z = !((A+B) · (C+D))
+func tOAI22() CellDef {
+	return CellDef{
+		Base: "OAI22", Ports: append(inPort("A", "B", "C", "D"), outPort("Z")...),
+		Transistors: []Transistor{
+			// Pull-up: series(A,B) ∥ series(C,D) — conducts when A=B=0 or C=D=0.
+			pmos("mpa", "p1", "A", NetVDD, wp1), pmos("mpb", "Z", "B", "p1", wp1),
+			pmos("mpc", "p2", "C", NetVDD, wp1), pmos("mpd", "Z", "D", "p2", wp1),
+			nmos("mna", "Z", "A", "n1", wn1), nmos("mnb", "Z", "B", "n1", wn1),
+			nmos("mnc", "n1", "C", NetVSS, wn1), nmos("mnd", "n1", "D", NetVSS, wn1),
+		},
+		Inputs: []string{"A", "B", "C", "D"}, Outputs: []string{"Z"},
+		Logic: func(in []bool) []bool { return []bool{!((in[0] || in[1]) && (in[2] || in[3]))} },
+		Arcs: []Arc{
+			{From: "A", To: "Z", Negated: true, Side: map[string]bool{"B": false, "C": true, "D": false}},
+			{From: "C", To: "Z", Negated: true, Side: map[string]bool{"D": false, "A": true, "B": false}},
+		},
+	}
+}
+
+// tHA: half adder — S = A⊕B, CO = A·B.
+func tHA() CellDef {
+	d := CellDef{
+		Base: "HA", Ports: append(inPort("A", "B"), outPort("S", "CO")...),
+		Inputs: []string{"A", "B"}, Outputs: []string{"S", "CO"},
+		Logic: func(in []bool) []bool { return []bool{in[0] != in[1], in[0] && in[1]} },
+		Arcs: []Arc{
+			{From: "A", To: "S", Side: map[string]bool{"B": false}},
+			{From: "A", To: "CO", Side: map[string]bool{"B": true}},
+		},
+	}
+	// XOR core renamed to drive S.
+	x := tXOR2()
+	for _, t := range x.Transistors {
+		t.Name = "x_" + t.Name
+		if t.Drain == "Z" {
+			t.Drain = "S"
+		}
+		if t.Source == "Z" {
+			t.Source = "S"
+		}
+		d.Transistors = append(d.Transistors, t)
+	}
+	// CO = AND(A,B): NAND + INV.
+	d.Transistors = append(d.Transistors,
+		pmos("mpca", "ncb", "A", NetVDD, wp1), pmos("mpcb", "ncb", "B", NetVDD, wp1),
+		nmos("mnca", "ncb", "A", "cn1", wn1), nmos("mncb", "cn1", "B", NetVSS, wn1),
+		pmos("mpco", "CO", "ncb", NetVDD, wp1), nmos("mnco", "CO", "ncb", NetVSS, wn1))
+	return d
+}
+
+// tFA: 28T mirror full adder.
+func tFA() CellDef {
+	d := CellDef{
+		Base: "FA", Ports: append(inPort("A", "B", "CI"), outPort("S", "CO")...),
+		Inputs: []string{"A", "B", "CI"}, Outputs: []string{"S", "CO"},
+		Logic: func(in []bool) []bool {
+			n := 0
+			for _, v := range in {
+				if v {
+					n++
+				}
+			}
+			return []bool{n%2 == 1, n >= 2}
+		},
+		Arcs: []Arc{
+			{From: "A", To: "S", Side: map[string]bool{"B": false, "CI": false}},
+			{From: "CI", To: "S", Side: map[string]bool{"A": false, "B": false}},
+			{From: "A", To: "CO", Side: map[string]bool{"B": true, "CI": false}},
+			{From: "CI", To: "CO", Side: map[string]bool{"A": true, "B": false}},
+		},
+	}
+	wp := wp1
+	wn := wn1
+	d.Transistors = append(d.Transistors,
+		// Carry: ncb = !MAJ(A,B,CI), mirror style.
+		pmos("cp1", "x1", "A", NetVDD, wp), pmos("cp2", "x1", "B", NetVDD, wp),
+		pmos("cp3", "ncb", "CI", "x1", wp),
+		pmos("cp4", "y1", "A", NetVDD, wp), pmos("cp5", "ncb", "B", "y1", wp),
+		nmos("cn1", "ncb", "CI", "xn", wn), nmos("cn2", "xn", "A", NetVSS, wn),
+		nmos("cn3", "xn", "B", NetVSS, wn),
+		nmos("cn4", "ncb", "A", "yn", wn), nmos("cn5", "yn", "B", NetVSS, wn),
+		// CO = !ncb
+		pmos("cpo", "CO", "ncb", NetVDD, wp1), nmos("cno", "CO", "ncb", NetVSS, wn1),
+		// Sum: ns = !(A⊕B⊕CI) using ncb, mirror style.
+		pmos("sp1", "z1", "A", NetVDD, wp), pmos("sp2", "z1", "B", NetVDD, wp),
+		pmos("sp3", "z1", "CI", NetVDD, wp), pmos("sp4", "ns", "ncb", "z1", wp),
+		pmos("sp5", "w1", "A", NetVDD, wp), pmos("sp6", "w2", "B", "w1", wp),
+		pmos("sp7", "ns", "CI", "w2", wp),
+		nmos("sn1", "zn", "A", NetVSS, wn), nmos("sn2", "zn", "B", NetVSS, wn),
+		nmos("sn3", "zn", "CI", NetVSS, wn), nmos("sn4", "ns", "ncb", "zn", wn),
+		nmos("sn5", "v1", "A", NetVSS, wn), nmos("sn6", "v2", "B", "v1", wn),
+		nmos("sn7", "ns", "CI", "v2", wn),
+		// S = !ns
+		pmos("spo", "S", "ns", NetVDD, wp1), nmos("sno", "S", "ns", NetVSS, wn1))
+	return d
+}
+
+// tDFF: positive-edge D flip-flop, transmission-gate master/slave.
+func tDFF() CellDef {
+	return CellDef{
+		Base: "DFF", Ports: append(inPort("D", "CK"), outPort("Q")...),
+		Transistors: []Transistor{
+			// Clock inverters: ckb = !CK, cki = !ckb.
+			pmos("mpc1", "ckb", "CK", NetVDD, wp1), nmos("mnc1", "ckb", "CK", NetVSS, wn1),
+			pmos("mpc2", "cki", "ckb", NetVDD, wp1), nmos("mnc2", "cki", "ckb", NetVSS, wn1),
+			// Master input TG (transparent when CK=0): D → m1.
+			nmos("mtm", "m1", "ckb", "D", wn1), pmos("mtmp", "m1", "cki", "D", wp1),
+			// m2 = !m1, feedback mf = !m2, TG mf → m1 (closed when CK=1).
+			pmos("mpm", "m2", "m1", NetVDD, wp1), nmos("mnm", "m2", "m1", NetVSS, wn1),
+			pmos("mpf", "mf", "m2", NetVDD, wp1), nmos("mnf", "mf", "m2", NetVSS, wn1),
+			nmos("mtf", "m1", "cki", "mf", wn1), pmos("mtfp", "m1", "ckb", "mf", wp1),
+			// Slave TG (transparent when CK=1): m2 → s1.
+			nmos("mts", "s1", "cki", "m2", wn1), pmos("mtsp", "s1", "ckb", "m2", wp1),
+			// s2 = !s1, feedback sf = !s2, TG sf → s1 (closed when CK=0).
+			pmos("mps", "s2", "s1", NetVDD, wp1), nmos("mns", "s2", "s1", NetVSS, wn1),
+			pmos("mpsf", "sf", "s2", NetVDD, wp1), nmos("mnsf", "sf", "s2", NetVSS, wn1),
+			nmos("mtsf", "s1", "ckb", "sf", wn1), pmos("mtsfp", "s1", "cki", "sf", wp1),
+			// Q = !s1 (= D after the rising edge).
+			pmos("mpq", "Q", "s1", NetVDD, wp1), nmos("mnq", "Q", "s1", NetVSS, wn1),
+		},
+		Inputs: []string{"D", "CK"}, Outputs: []string{"Q"},
+		Seq:   true,
+		Clock: "CK",
+		Data:  "D",
+		Arcs:  []Arc{{From: "CK", To: "Q", Side: map[string]bool{"D": true}}},
+	}
+}
+
+func fl(prefix string, i int) string { return prefix + string(rune('0'+i)) }

@@ -1,0 +1,258 @@
+package cellgen
+
+import (
+	"math"
+
+	"tmi3d/internal/device"
+	"tmi3d/internal/geom"
+)
+
+// Layout layer names. Bottom-tier layers carry the "b" suffix, matching the
+// paper's PB/CTB/MB1 notation (Fig 2).
+const (
+	LayerPoly = "poly"
+	LayerDiff = "diff"
+	LayerCT   = "ct"
+	LayerM1   = "m1"
+
+	LayerPolyB = "pb"
+	LayerDiffB = "diffb"
+	LayerCTB   = "ctb"
+	LayerMB1   = "mb1"
+
+	LayerMIV = "miv"
+	// LayerMIVD marks MIVs realized as direct source/drain contacts — no
+	// MB1/M1 landing detour (Section S1).
+	LayerMIVD = "mivd"
+)
+
+// Geometry constants at the 45nm node, µm.
+const (
+	polyPitch = 0.19
+	polyWidth = 0.05
+	m1Width   = 0.07
+	ctSize    = 0.065
+	railH     = 0.10
+
+	cellH2D  = 1.4
+	cellHTMI = 0.84
+)
+
+// Tier identifies which device tier a shape sits on.
+func isBottomLayer(layer string) bool {
+	switch layer {
+	case LayerPolyB, LayerDiffB, LayerCTB, LayerMB1:
+		return true
+	}
+	return false
+}
+
+// Terminal is an electrical connection point of a device finger.
+type Terminal struct {
+	Net    string
+	At     geom.Point
+	Gate   bool // true for gate terminals, false for source/drain
+	Bottom bool // true when the terminal lives on the bottom tier (T-MI PMOS)
+}
+
+// Layout is a procedural cell layout plus bookkeeping for extraction.
+type Layout struct {
+	Cell   string
+	TMI    bool
+	Width  float64
+	Height float64
+	Shapes []geom.Shape
+	// Terminals lists device connection points by net.
+	Terminals []Terminal
+	// NumMIV counts monolithic inter-tier vias (0 for 2D).
+	NumMIV int
+	// DirectSD counts nets realized with direct source/drain contacts
+	// (Section S1: they shorten the 3D connection paths).
+	DirectSD int
+}
+
+// Area returns the cell footprint in µm².
+func (l *Layout) Area() float64 { return l.Width * l.Height }
+
+// finger is one column-occupying device slice.
+type finger struct {
+	tr *Transistor
+	w  float64 // finger width, µm
+}
+
+// column pairs at most one P and one N finger over the same poly line.
+type column struct {
+	gate string
+	p, n *finger
+}
+
+// buildColumns splits wide transistors into fingers and pairs P/N fingers
+// that share a gate net into columns, standard-cell style.
+func buildColumns(def *CellDef) []column {
+	type bucket struct {
+		p, n []*finger
+	}
+	order := []string{}
+	buckets := map[string]*bucket{}
+	for i := range def.Transistors {
+		t := &def.Transistors[i]
+		max := maxFingerN
+		if t.Kind == device.PMOS {
+			max = maxFingerP
+		}
+		nf := fingers(t.W, max)
+		b, ok := buckets[t.Gate]
+		if !ok {
+			b = &bucket{}
+			buckets[t.Gate] = b
+			order = append(order, t.Gate)
+		}
+		for k := 0; k < nf; k++ {
+			f := &finger{tr: t, w: t.W / float64(nf)}
+			if t.Kind == device.PMOS {
+				b.p = append(b.p, f)
+			} else {
+				b.n = append(b.n, f)
+			}
+		}
+	}
+	var cols []column
+	for _, g := range order {
+		b := buckets[g]
+		n := len(b.p)
+		if len(b.n) > n {
+			n = len(b.n)
+		}
+		for i := 0; i < n; i++ {
+			c := column{gate: g}
+			if i < len(b.p) {
+				c.p = b.p[i]
+			}
+			if i < len(b.n) {
+				c.n = b.n[i]
+			}
+			cols = append(cols, c)
+		}
+	}
+	return cols
+}
+
+// trackYs2D are the M1 routing track positions inside a 2D cell.
+var trackYs2D = []float64{0.45, 0.62, 0.79, 0.96, 0.29}
+
+// Generate2D builds the planar layout of a cell on the 1.4 µm row grid.
+func Generate2D(def *CellDef) *Layout {
+	cols := buildColumns(def)
+	w := float64(len(cols))*polyPitch + polyPitch
+	l := &Layout{Cell: def.Name, Width: w, Height: cellH2D}
+
+	const (
+		nRowLo = 0.14
+		pRowHi = 1.26
+		gateY  = 0.70
+	)
+	add := func(layer string, r geom.Rect, net string) {
+		l.Shapes = append(l.Shapes, geom.Shape{Layer: layer, R: r, Net: net})
+	}
+	term := func(net string, x, y float64, gate bool) {
+		l.Terminals = append(l.Terminals, Terminal{Net: net, At: geom.Point{X: x, Y: y}, Gate: gate})
+	}
+
+	// Power rails.
+	add(LayerM1, geom.NewRect(0, 0, w, railH), NetVSS)
+	add(LayerM1, geom.NewRect(0, cellH2D-railH, w, cellH2D), NetVDD)
+
+	for i, c := range cols {
+		x := polyPitch + float64(i)*polyPitch
+		// Poly column spanning both device rows plus overhang.
+		var yLo, yHi float64 = gateY - 0.1, gateY + 0.1
+		if c.n != nil {
+			yLo = nRowLo - 0.10
+		}
+		if c.p != nil {
+			yHi = pRowHi + 0.10
+		}
+		add(LayerPoly, geom.NewRect(x-polyWidth/2, yLo, x+polyWidth/2, yHi), c.gate)
+		term(c.gate, x, gateY, true)
+
+		if c.p != nil {
+			yMid := pRowHi - c.p.w/2
+			add(LayerDiff, geom.NewRect(x-0.085, pRowHi-c.p.w, x+0.085, pRowHi), "")
+			term(c.p.tr.Drain, x+0.095, yMid, false)
+			term(c.p.tr.Source, x-0.095, yMid, false)
+		}
+		if c.n != nil {
+			yMid := nRowLo + c.n.w/2
+			add(LayerDiff, geom.NewRect(x-0.085, nRowLo, x+0.085, nRowLo+c.n.w), "")
+			term(c.n.tr.Drain, x+0.095, yMid, false)
+			term(c.n.tr.Source, x-0.095, yMid, false)
+		}
+	}
+	l.route2D(def)
+	return l
+}
+
+// route2D wires each net with one horizontal M1 track plus vertical stubs and
+// contacts, and ties supply terminals to the rails.
+func (l *Layout) route2D(def *CellDef) {
+	byNet := map[string][]Terminal{}
+	for _, t := range l.Terminals {
+		byNet[t.Net] = append(byNet[t.Net], t)
+	}
+	add := func(layer string, r geom.Rect, net string) {
+		l.Shapes = append(l.Shapes, geom.Shape{Layer: layer, R: r, Net: net})
+	}
+	ti := 0
+	for _, net := range def.AllNets() {
+		terms := byNet[net]
+		if len(terms) == 0 {
+			continue
+		}
+		switch net {
+		case NetVDD, NetVSS:
+			railY := railH / 2
+			if net == NetVDD {
+				railY = cellH2D - railH/2
+			}
+			for _, t := range terms {
+				add(LayerCT, ctRect(t.At), net)
+				add(LayerM1, geom.NewRect(t.At.X-m1Width/2, math.Min(t.At.Y, railY),
+					t.At.X+m1Width/2, math.Max(t.At.Y, railY)), net)
+			}
+			continue
+		}
+		y := trackYs2D[ti%len(trackYs2D)]
+		ti++
+		minX, maxX := terms[0].At.X, terms[0].At.X
+		for _, t := range terms {
+			minX = math.Min(minX, t.At.X)
+			maxX = math.Max(maxX, t.At.X)
+		}
+		if len(terms) > 1 || isPort(def, net) {
+			// Horizontal track.
+			add(LayerM1, geom.NewRect(minX-m1Width/2, y-m1Width/2, maxX+m1Width/2, y+m1Width/2), net)
+		}
+		for _, t := range terms {
+			add(LayerCT, ctRect(t.At), net)
+			if t.Gate {
+				// Poly already spans the track; only the contact is needed.
+				continue
+			}
+			add(LayerM1, geom.NewRect(t.At.X-m1Width/2, math.Min(t.At.Y, y),
+				t.At.X+m1Width/2, math.Max(t.At.Y, y)), net)
+		}
+	}
+}
+
+func ctRect(p geom.Point) geom.Rect {
+	return geom.NewRect(p.X-ctSize/2, p.Y-ctSize/2, p.X+ctSize/2, p.Y+ctSize/2)
+}
+
+func isPort(def *CellDef, net string) bool {
+	for _, p := range def.Ports {
+		if p.Name == net {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,85 @@
+package cellgen
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// WriteLEF emits the physical cell abstracts (size, pin shapes, MIV
+// obstructions) in LEF format — what the paper calls "abstracting the cells
+// to create the T-MI physical cell library" (Section 2). For folded cells,
+// pin shapes appear on both tiers' first metals (MB1 reported as layer M0B)
+// and the MIV landing areas become routing obstructions, which is how the
+// chip router is kept out of the cell-internal 3D connections.
+func WriteLEF(w io.Writer, tmi bool) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "VERSION 5.8 ;\nBUSBITCHARS \"[]\" ;\nDIVIDERCHAR \"/\" ;\nUNITS\n  DATABASE MICRONS 1000 ;\nEND UNITS\n\n")
+	height := cellH2D
+	if tmi {
+		height = cellHTMI
+	}
+	fmt.Fprintf(bw, "SITE core\n  CLASS CORE ;\n  SIZE %.3f BY %.3f ;\nEND core\n\n", polyPitch, height)
+
+	for _, def := range Library() {
+		d := def
+		var lay *Layout
+		if tmi {
+			lay = GenerateTMI(&d)
+		} else {
+			lay = Generate2D(&d)
+		}
+		fmt.Fprintf(bw, "MACRO %s\n  CLASS CORE ;\n  ORIGIN 0 0 ;\n  SIZE %.3f BY %.3f ;\n  SYMMETRY X Y ;\n  SITE core ;\n",
+			d.Name, lay.Width, lay.Height)
+		for _, port := range d.Ports {
+			dir := "INPUT"
+			if port.Dir == Out {
+				dir = "OUTPUT"
+			}
+			fmt.Fprintf(bw, "  PIN %s\n    DIRECTION %s ;\n    PORT\n", port.Name, dir)
+			for _, s := range lay.Shapes {
+				if s.Net != port.Name {
+					continue
+				}
+				layer := lefLayer(s.Layer)
+				if layer == "" {
+					continue
+				}
+				fmt.Fprintf(bw, "      LAYER %s ;\n        RECT %.3f %.3f %.3f %.3f ;\n",
+					layer, s.R.Lo.X, s.R.Lo.Y, s.R.Hi.X, s.R.Hi.Y)
+			}
+			fmt.Fprintf(bw, "    END\n  END %s\n", port.Name)
+		}
+		// Obstructions: supply rails and (T-MI) MIV landing areas.
+		fmt.Fprintf(bw, "  OBS\n")
+		for _, s := range lay.Shapes {
+			isObs := s.Net == NetVDD || s.Net == NetVSS ||
+				s.Layer == LayerMIV || s.Layer == LayerMIVD
+			if !isObs {
+				continue
+			}
+			layer := lefLayer(s.Layer)
+			if layer == "" {
+				layer = "M1"
+			}
+			fmt.Fprintf(bw, "    LAYER %s ;\n      RECT %.3f %.3f %.3f %.3f ;\n",
+				layer, s.R.Lo.X, s.R.Lo.Y, s.R.Hi.X, s.R.Hi.Y)
+		}
+		fmt.Fprintf(bw, "  END\nEND %s\n\n", d.Name)
+	}
+	fmt.Fprintf(bw, "END LIBRARY\n")
+	return bw.Flush()
+}
+
+// lefLayer maps internal layout layers to LEF routing layer names.
+func lefLayer(layer string) string {
+	switch layer {
+	case LayerM1:
+		return "M1"
+	case LayerMB1:
+		return "M0B" // bottom-tier metal
+	case LayerMIV, LayerMIVD:
+		return "MIV"
+	}
+	return ""
+}

@@ -1,0 +1,127 @@
+package circuits
+
+// GenerateAES builds the AES-128 encryption engine benchmark: a pipeline of
+// full AES rounds (SubBytes via composite-field S-boxes, ShiftRows,
+// MixColumns, AddRoundKey) with an on-the-fly key schedule, 128-bit
+// datapath. At scale 1 two rounds are instantiated (≈14k cells, matching
+// Table 12's 13,891); smaller scales instantiate one round.
+func GenerateAES(scale float64) (*builderResult, error) {
+	rounds := int(2*scale + 0.5)
+	if rounds < 1 {
+		rounds = 1
+	}
+	b := newBuilder("AES")
+
+	// State and key: 16 bytes each, LSB-first bit buses.
+	state := make([][]string, 16)
+	key := make([][]string, 16)
+	in := b.inputBus("pt", 128)
+	kin := b.inputBus("key", 128)
+	for i := 0; i < 16; i++ {
+		state[i] = b.regBus(in[i*8 : i*8+8])
+		key[i] = b.regBus(kin[i*8 : i*8+8])
+	}
+
+	rcon := uint8(1)
+	for r := 0; r < rounds; r++ {
+		// SubBytes.
+		sub := make([][]string, 16)
+		for i := 0; i < 16; i++ {
+			sub[i] = b.sboxGates(state[i])
+		}
+		// ShiftRows: byte (row, col) → state index col*4+row; row shifts
+		// left by its index.
+		shifted := make([][]string, 16)
+		for col := 0; col < 4; col++ {
+			for row := 0; row < 4; row++ {
+				shifted[col*4+row] = sub[((col+row)%4)*4+row]
+			}
+		}
+		// MixColumns.
+		mixed := make([][]string, 16)
+		for col := 0; col < 4; col++ {
+			a := [4][]string{shifted[col*4], shifted[col*4+1], shifted[col*4+2], shifted[col*4+3]}
+			for row := 0; row < 4; row++ {
+				// out = 2·a[row] ⊕ 3·a[row+1] ⊕ a[row+2] ⊕ a[row+3]
+				x2 := b.xtime(a[row])
+				threeNext := b.xorBus(b.xtime(a[(row+1)%4]), a[(row+1)%4])
+				mixed[col*4+row] = b.xorBus(b.xorBus(x2, threeNext), b.xorBus(a[(row+2)%4], a[(row+3)%4]))
+			}
+		}
+		// Key schedule: w3' = RotWord+SubWord+rcon into w0.
+		nk := make([][]string, 16)
+		// last column bytes: key[12..15]; RotWord rotates by one byte.
+		var subw [4][]string
+		for i := 0; i < 4; i++ {
+			subw[i] = b.sboxGates(key[12+(i+1)%4])
+		}
+		for i := 0; i < 4; i++ {
+			t := b.xorBus(key[i], subw[i])
+			if i == 0 {
+				t = b.xorConst(t, rcon)
+			}
+			nk[i] = t
+		}
+		for col := 1; col < 4; col++ {
+			for i := 0; i < 4; i++ {
+				nk[col*4+i] = b.xorBus(nk[(col-1)*4+i], key[col*4+i])
+			}
+		}
+		rcon = aesMul(rcon, 2)
+		// AddRoundKey, then pipeline registers.
+		for i := 0; i < 16; i++ {
+			state[i] = b.regBus(b.xorBus(mixed[i], nk[i]))
+			key[i] = b.regBus(nk[i])
+		}
+	}
+
+	var flat []string
+	for i := 0; i < 16; i++ {
+		flat = append(flat, state[i]...)
+	}
+	b.outputBus("ct", flat)
+	return &builderResult{b: b}, nil
+}
+
+// xtime multiplies a byte bus by 2 in the AES field: left shift with
+// conditional reduction by 0x1B.
+func (b *builder) xtime(a []string) []string {
+	hi := a[7]
+	out := make([]string, 8)
+	for i := 7; i >= 1; i-- {
+		out[i] = a[i-1]
+	}
+	out[0] = hi
+	// 0x1B = bits 1, 3, 4 additionally get hi (bit 0 already set to hi).
+	out[1] = b.xor2(out[1], hi)
+	out[3] = b.xor2(out[3], hi)
+	out[4] = b.xor2(out[4], hi)
+	return out
+}
+
+// xorBus XORs two equal-width buses.
+func (b *builder) xorBus(x, y []string) []string {
+	out := make([]string, len(x))
+	for i := range x {
+		out[i] = b.xor2(x[i], y[i])
+	}
+	return out
+}
+
+// xorConst XORs a constant into a byte bus (INV on set bits).
+func (b *builder) xorConst(x []string, c uint8) []string {
+	out := make([]string, len(x))
+	for i := range x {
+		if c>>uint(i)&1 == 1 {
+			out[i] = b.inv(x[i])
+		} else {
+			out[i] = x[i]
+		}
+	}
+	return out
+}
+
+// builderResult defers finish() so the registry can set per-node clocks.
+type builderResult struct {
+	b *builder
+}

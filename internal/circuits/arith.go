@@ -1,0 +1,129 @@
+package circuits
+
+// Log-depth arithmetic building blocks: Kogge–Stone prefix adder, prefix
+// incrementer and tree leading-zero counter. The benchmark datapaths use
+// these wherever a ripple structure would blow the paper's target clocks —
+// matching what timing-driven synthesis produces from RTL "+" operators.
+
+// prefixAdd adds two equal-width LSB-first buses with a Kogge–Stone carry
+// tree: depth ⌈log₂w⌉, size O(w·log w).
+func (b *builder) prefixAdd(x, y []string, cin string) ([]string, string) {
+	if len(x) != len(y) {
+		panic("circuits: prefixAdd width mismatch")
+	}
+	w := len(x)
+	if w == 0 {
+		return nil, cin
+	}
+	p := make([]string, w) // propagate
+	g := make([]string, w) // generate
+	for i := 0; i < w; i++ {
+		p[i] = b.xor2(x[i], y[i])
+		g[i] = b.and2(x[i], y[i])
+	}
+	// Fold cin into bit 0: g0' = g0 ∨ (p0 ∧ cin).
+	if cin != "" {
+		g[0] = b.or2(g[0], b.and2(p[0], cin))
+	}
+	// Kogge–Stone doubling: after the tree, g[i] is the carry OUT of bit i.
+	gp := make([]string, w)
+	pp := make([]string, w)
+	copy(gp, g)
+	copy(pp, p)
+	for d := 1; d < w; d *= 2 {
+		ng := make([]string, w)
+		np := make([]string, w)
+		for i := 0; i < w; i++ {
+			if i >= d {
+				ng[i] = b.or2(gp[i], b.and2(pp[i], gp[i-d]))
+				np[i] = b.and2(pp[i], pp[i-d])
+			} else {
+				ng[i] = gp[i]
+				np[i] = pp[i]
+			}
+		}
+		gp, pp = ng, np
+	}
+	sum := make([]string, w)
+	for i := 0; i < w; i++ {
+		ci := cin
+		if i > 0 {
+			ci = gp[i-1]
+		}
+		if ci == "" {
+			sum[i] = p[i]
+		} else {
+			sum[i] = b.xor2(p[i], ci)
+		}
+	}
+	return sum, gp[w-1]
+}
+
+// prefixIncrement adds one with a log-depth cumulative-AND carry chain.
+func (b *builder) prefixIncrement(x []string) []string {
+	w := len(x)
+	if w == 0 {
+		return nil
+	}
+	// carryInto[i] = AND(x[0..i-1]); cumulative AND via doubling.
+	cum := make([]string, w)
+	copy(cum, x)
+	for d := 1; d < w; d *= 2 {
+		next := make([]string, w)
+		for i := 0; i < w; i++ {
+			if i >= d {
+				next[i] = b.and2(cum[i], cum[i-d])
+			} else {
+				next[i] = cum[i]
+			}
+		}
+		cum = next
+	}
+	out := make([]string, w)
+	out[0] = b.inv(x[0])
+	for i := 1; i < w; i++ {
+		out[i] = b.xor2(x[i], cum[i-1])
+	}
+	return out
+}
+
+// lzcTree counts leading zeros of the bus (MSB = last element) with a
+// log-depth divide-and-conquer structure, returning an LSB-first count.
+func (b *builder) lzcTree(bus []string) []string {
+	// Pad to a power of two with ones on the LSB side: the count scans from
+	// the MSB, so low-side pads only ever terminate an all-zero bus and the
+	// result for the original bits is unchanged.
+	w := 1
+	for w < len(bus) {
+		w *= 2
+	}
+	pad := w - len(bus)
+	padded := make([]string, w)
+	for i := 0; i < pad; i++ {
+		padded[i] = b.constNet(true)
+	}
+	copy(padded[pad:], bus)
+	count, _ := b.lzcRec(padded)
+	return count
+}
+
+// lzcRec returns (count bits LSB-first, allZero) for a power-of-two bus.
+func (b *builder) lzcRec(bus []string) ([]string, string) {
+	if len(bus) == 1 {
+		return nil, b.inv(bus[0])
+	}
+	half := len(bus) / 2
+	lo := bus[:half]
+	hi := bus[half:]
+	cLo, zLo := b.lzcRec(lo)
+	cHi, zHi := b.lzcRec(hi)
+	// Leading zeros counted from the MSB side (hi half first): if hi is all
+	// zero, count = half + count(lo); else count(hi).
+	n := len(cHi)
+	out := make([]string, n+1)
+	for i := 0; i < n; i++ {
+		out[i] = b.mux2(cHi[i], cLo[i], zHi)
+	}
+	out[n] = zHi // the 2^(k-1) bit
+	return out, b.and2(zLo, zHi)
+}

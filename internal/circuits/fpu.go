@@ -1,0 +1,151 @@
+package circuits
+
+// GenerateFPU builds the double-precision floating point unit benchmark: an
+// IEEE-754 binary64 datapath with an alignment/normalization adder and a
+// pipelined 53×53 significand multiplier, sharing input/output registers and
+// an operation select. At scale 1 it lands near Table 12's 9.7k cells.
+func GenerateFPU(scale float64) (*builderResult, error) {
+	mw := scaledWidth(53, scale, 10) // significand width (with hidden bit)
+	const ew = 11
+
+	b := newBuilder("FPU")
+	aIn := b.regBus(b.inputBus("a", 1+ew+mw))
+	bIn := b.regBus(b.inputBus("b", 1+ew+mw))
+	op := b.dff(b.inputBus("op", 1)[0]) // 0: add, 1: multiply
+
+	aSign, aExp, aMan := aIn[0], aIn[1:1+ew], aIn[1+ew:]
+	bSign, bExp, bMan := bIn[0], bIn[1:1+ew], bIn[1+ew:]
+
+	// ---- Adder path ----
+	// Exponent difference (a - b) via ripple subtract.
+	bExpInv := make([]string, ew)
+	for i := range bExp {
+		bExpInv[i] = b.inv(bExp[i])
+	}
+	diff, borrow := b.prefixAdd(aExp, bExpInv, b.constNet(true))
+	aGE := borrow // carry-out of a + ~b + 1: set when a ≥ b
+
+	// Operand swap so the larger exponent leads.
+	gExp := b.muxBus(bExp, aExp, aGE)
+	gMan := b.muxBus(bMan, aMan, aGE)
+	lMan := b.muxBus(aMan, bMan, aGE)
+	// |diff| approximated by conditional complement.
+	shamt := make([]string, 0, 6)
+	for i := 0; i < 6 && i < len(diff); i++ {
+		shamt = append(shamt, b.mux2(b.inv(diff[i]), diff[i], aGE))
+	}
+
+	aligned := b.rightShifter(lMan, shamt)
+	sub := b.xor2(aSign, bSign)
+	alignedX := make([]string, mw)
+	for i := range aligned {
+		alignedX[i] = b.xor2(aligned[i], sub)
+	}
+	sumMan, cout := b.prefixAdd(gMan, alignedX, sub)
+	_ = cout
+
+	// Normalization: leading-zero count + left shift.
+	lz := b.lzcTree(sumMan)
+	if len(lz) > 6 {
+		lz = lz[:6]
+	}
+	norm := b.leftShifter(sumMan, lz)
+	// Exponent adjust: gExp - lz (ripple subtract with padded lz).
+	lzPad := make([]string, ew)
+	for i := range lzPad {
+		if i < len(lz) {
+			lzPad[i] = b.inv(lz[i])
+		} else {
+			lzPad[i] = b.constNet(true)
+		}
+	}
+	addExp, _ := b.prefixAdd(gExp, lzPad, b.constNet(true))
+	// Rounding incrementer on the low bits.
+	rounded := b.prefixIncrement(norm)
+	addResult := append([]string{b.and2(aSign, bSign)}, append(addExp, rounded...)...)
+
+	// ---- Multiplier path ----
+	mSign := b.xor2(aSign, bSign)
+	mExp, _ := b.prefixAdd(aExp, bExp, "")
+	prodHi := b.sigMultiplier(aMan, bMan)
+	mulResult := append([]string{mSign}, append(mExp, prodHi...)...)
+
+	// ---- Result select and output registers ----
+	res := b.muxBus(addResult, mulResult, op)
+	out := b.regBus(res)
+	b.outputBus("z", out)
+	return &builderResult{b: b}, nil
+}
+
+// muxBus selects between two buses.
+func (b *builder) muxBus(x, y []string, s string) []string {
+	out := make([]string, len(x))
+	for i := range x {
+		out[i] = b.mux2(x[i], y[i], s)
+	}
+	return out
+}
+
+// rightShifter is a logarithmic barrel shifter (shift right by shamt).
+func (b *builder) rightShifter(bus, shamt []string) []string {
+	cur := bus
+	for s, bit := range shamt {
+		sh := 1 << uint(s)
+		next := make([]string, len(cur))
+		for i := range cur {
+			from := b.constNet(false)
+			if i+sh < len(cur) {
+				from = cur[i+sh]
+			}
+			next[i] = b.mux2(cur[i], from, bit)
+		}
+		cur = next
+	}
+	return cur
+}
+
+// leftShifter shifts left by shamt.
+func (b *builder) leftShifter(bus, shamt []string) []string {
+	cur := bus
+	for s, bit := range shamt {
+		sh := 1 << uint(s)
+		next := make([]string, len(cur))
+		for i := range cur {
+			from := b.constNet(false)
+			if i-sh >= 0 {
+				from = cur[i-sh]
+			}
+			next[i] = b.mux2(cur[i], from, bit)
+		}
+		cur = next
+	}
+	return cur
+}
+
+// sigMultiplier is a carry-save significand multiplier returning the high
+// half of the product, pipelined every 16 rows.
+func (b *builder) sigMultiplier(x, y []string) []string {
+	w := len(x)
+	zero := b.constNet(false)
+	sum := make([]string, w)
+	carry := make([]string, w)
+	for i := range sum {
+		sum[i] = zero
+		carry[i] = zero
+	}
+	for i := 0; i < w; i++ {
+		pp := make([]string, w)
+		for j := 0; j < w; j++ {
+			pp[j] = b.and2(x[j], y[i])
+		}
+		s1, c1 := b.csaRow(pp, sum, carry)
+		sum = append(append([]string{}, s1[1:]...), zero)
+		carry = c1
+		if (i+1)%16 == 0 && i != w-1 {
+			sum = b.regBus(sum)
+			carry = b.regBus(carry)
+		}
+	}
+	hi, _ := b.prefixAdd(sum, carry, "")
+	return hi
+}

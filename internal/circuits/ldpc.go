@@ -1,0 +1,76 @@
+package circuits
+
+// GenerateLDPC builds the low-density parity-check engine for the IEEE
+// 802.3an (10GBASE-T) code: a (2048, 1723) regular RS-LDPC code with check
+// degree 32 and variable degree 6. The circuit registers the 2048-bit frame,
+// computes all 384 parity checks as 32-input XOR trees, feeds each check
+// back to its 6 member variables, and registers the updated frame — one
+// hard-decision decoding step.
+//
+// The parity-check connections are spread pseudo-randomly across the frame,
+// which is what gives LDPC its signature long global wires and wire-cap
+// dominated nets (Sections 4.3 and S8).
+func GenerateLDPC(scale float64) (*builderResult, error) {
+	cols := int(2048*scale + 0.5)
+	if cols < 64 {
+		cols = 64
+	}
+	cols = cols / 16 * 16
+	rows := cols * 6 / 32 // keep the degree structure of the real code
+
+	b := newBuilder("LDPC")
+	in := b.inputBus("v", cols)
+	vr := b.regBus(in)
+
+	// Pseudo-random regular-ish bipartite graph: every column appears in
+	// exactly 6 rows; rows collect ~32 columns each. A deterministic LCG
+	// spreads connections across the frame like the Reed-Solomon based
+	// construction of the real code.
+	rowMembers := make([][]int, rows)
+	seed := uint64(0x8023AE17)
+	next := func(n int) int {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		return int(seed>>33) % n
+	}
+	for c := 0; c < cols; c++ {
+		used := map[int]bool{}
+		for k := 0; k < 6; k++ {
+			r := next(rows)
+			for used[r] {
+				r = (r + 1) % rows
+			}
+			used[r] = true
+			rowMembers[r] = append(rowMembers[r], c)
+		}
+	}
+
+	// Check nodes: XOR trees over member variables.
+	checks := make([]string, rows)
+	for r := 0; r < rows; r++ {
+		var taps []string
+		for _, c := range rowMembers[r] {
+			taps = append(taps, vr[c])
+		}
+		if len(taps) == 0 {
+			taps = []string{b.constNet(false)}
+		}
+		checks[r] = b.xorTree(taps)
+	}
+
+	// Variable update: each bit absorbs the XOR of its 6 checks (a
+	// hard-decision bit-flip step), then re-registers.
+	colChecks := make([][]string, cols)
+	for r := 0; r < rows; r++ {
+		for _, c := range rowMembers[r] {
+			colChecks[c] = append(colChecks[c], checks[r])
+		}
+	}
+	updated := make([]string, cols)
+	for c := 0; c < cols; c++ {
+		syn := b.xorTree(colChecks[c])
+		updated[c] = b.xor2(vr[c], syn)
+	}
+	out := b.regBus(updated)
+	b.outputBus("d", out)
+	return &builderResult{b: b}, nil
+}

@@ -1,0 +1,69 @@
+package circuits
+
+import "math"
+
+// GenerateM256 builds the M256 benchmark: a simple partial-sum-add based
+// 256-bit integer multiplier (Table 12's largest circuit, ≈200k cells). Each
+// of the 256 partial-product rows is ANDed and folded into a carry-save
+// accumulator; the running sum/carry buses are re-registered every 16 rows so
+// the per-cycle path stays within the 2.4 ns target clock. Operands are
+// broadcast to all rows — the source of M256's very high fanout nets and
+// large buffer counts (Table 13).
+func GenerateM256(scale float64) (*builderResult, error) {
+	w := scaledWidth(256, scale, 16)
+	b := newBuilder("M256")
+
+	a := b.regBus(b.inputBus("a", w))
+	bb := b.regBus(b.inputBus("b", w))
+
+	zero := b.constNet(false)
+	sum := make([]string, w)
+	carry := make([]string, w)
+	for i := range sum {
+		sum[i] = zero
+		carry[i] = zero
+	}
+	low := make([]string, 0, w) // low product bits peel off one per row
+
+	const pipeEvery = 16
+	for i := 0; i < w; i++ {
+		// Partial product row i.
+		pp := make([]string, w)
+		for j := 0; j < w; j++ {
+			pp[j] = b.and2(a[j], bb[i])
+		}
+		// Add the row, peel product bit i, and downshift the remainder:
+		// sum'[j] = s[j+1], carry'[j] = c[j] (the downshift realigns the
+		// weight-(j+1) carries to weight j).
+		s1, c1 := b.csaRow(pp, sum, carry)
+		low = append(low, s1[0])
+		sum = append(append([]string{}, s1[1:]...), zero)
+		carry = c1
+
+		if (i+1)%pipeEvery == 0 && i != w-1 {
+			sum = b.regBus(sum)
+			carry = b.regBus(carry)
+			low = b.regBus(low)
+		}
+	}
+	// Final carry-propagate add for the high half (log-depth prefix adder:
+	// a ripple here would be the longest path in the design by far).
+	high, _ := b.prefixAdd(sum, carry, "")
+	out := append(low, high...)
+	out = b.regBus(out)
+	b.outputBus("p", out)
+	return &builderResult{b: b}, nil
+}
+
+// scaledWidth maps a scale factor to a bus width with cell count scaling
+// roughly linearly in scale (the array is quadratic in width).
+func scaledWidth(full int, scale float64, min int) int {
+	w := int(float64(full)*math.Sqrt(scale) + 0.5)
+	if w < min {
+		w = min
+	}
+	if w > full {
+		w = full
+	}
+	return w
+}

@@ -1,0 +1,79 @@
+// Package core is the study API: it drives every experiment of the paper —
+// each table and figure of the evaluation — on top of the full flow, and
+// holds the published reference data used for comparisons. This is the
+// package the example programs and the experiment harness build on.
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"tmi3d/internal/flow"
+	"tmi3d/internal/power"
+	"tmi3d/internal/tech"
+)
+
+// Study runs the paper's experiments at a chosen circuit scale (1.0 = the
+// paper's full benchmark sizes; smaller scales keep every relationship while
+// trimming wall-clock time). Flow results are cached and shared between
+// experiments, exactly as the paper reuses its base layouts.
+type Study struct {
+	Scale float64
+	Seed  uint64
+
+	mu    sync.Mutex
+	cache map[string]*flow.Result
+}
+
+// NewStudy creates a study at the given scale.
+func NewStudy(scale float64) *Study {
+	if scale <= 0 {
+		scale = 1.0
+	}
+	return &Study{Scale: scale, cache: map[string]*flow.Result{}}
+}
+
+// run executes (or retrieves) one flow configuration.
+func (s *Study) run(cfg flow.Config) (*flow.Result, error) {
+	cfg.Scale = s.Scale
+	cfg.Seed = s.Seed
+	key := fmt.Sprintf("%s|%v|%v|%.0f|%.2f|%.2f|%v|%v|%v", cfg.Circuit, cfg.Node, cfg.Mode,
+		cfg.ClockPs, cfg.Util, cfg.PinCapScale, cfg.Use2DWLM, cfg.ResistivityScale, cfg.Activities)
+	s.mu.Lock()
+	if r, ok := s.cache[key]; ok {
+		s.mu.Unlock()
+		return r, nil
+	}
+	s.mu.Unlock()
+	r, err := flow.Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.cache[key] = r
+	s.mu.Unlock()
+	return r, nil
+}
+
+// Pair runs the 2D and T-MI flows of an iso-performance comparison.
+func (s *Study) Pair(circuit string, node tech.Node) (d2, d3 *flow.Result, err error) {
+	d2, err = s.run(flow.Config{Circuit: circuit, Node: node, Mode: tech.Mode2D})
+	if err != nil {
+		return nil, nil, err
+	}
+	d3, err = s.run(flow.Config{Circuit: circuit, Node: node, Mode: tech.ModeTMI})
+	if err != nil {
+		return nil, nil, err
+	}
+	return d2, d3, nil
+}
+
+// pct returns the percentage difference of b over a.
+func pct(a, b float64) float64 {
+	if a == 0 {
+		return 0
+	}
+	return (b - a) / a * 100
+}
+
+var _ = power.DefaultActivities // referenced by experiment files

@@ -1,0 +1,246 @@
+package core
+
+import (
+	"sort"
+
+	"tmi3d/internal/circuits"
+	"tmi3d/internal/flow"
+	"tmi3d/internal/power"
+	"tmi3d/internal/report"
+	"tmi3d/internal/route"
+	"tmi3d/internal/tech"
+)
+
+// Fig4Point is one (circuit, clock) point of the clock-period sweep.
+type Fig4Point struct {
+	Circuit string
+	ClockNs float64 // paper-equivalent clock, ns
+	Label   string  // slow / medium / fast
+	Total   float64 // power reduction %, T-MI vs 2D (positive = reduction)
+	Cell    float64
+	Net     float64
+	Leakage float64
+}
+
+// fig4Clocks are the paper's swept target periods (ns).
+var fig4Clocks = map[string][3]float64{
+	"AES":  {1.0, 0.8, 0.72},
+	"M256": {2.6, 2.4, 2.0},
+}
+
+// Fig4 reproduces the power-reduction vs target-clock study: AES and M256 at
+// 45nm across slow/medium/fast targets. Faster clocks squeeze the 2D design
+// harder, so the T-MI benefit grows.
+func (s *Study) Fig4() ([]Fig4Point, error) {
+	labels := [3]string{"slow", "medium", "fast"}
+	var pts []Fig4Point
+	for _, name := range []string{"AES", "M256"} {
+		clocks := fig4Clocks[name]
+		for i, ns := range clocks {
+			var pair [2]*flow.Result
+			for k, mode := range []tech.Mode{tech.Mode2D, tech.ModeTMI} {
+				r, err := s.run(flow.Config{
+					Circuit: name, Node: tech.N45, Mode: mode, ClockPs: ns * 1000,
+				})
+				if err != nil {
+					return nil, err
+				}
+				pair[k] = r
+			}
+			pts = append(pts, Fig4Point{
+				Circuit: name, ClockNs: ns, Label: labels[i],
+				Total:   -pct(pair[0].Power.Total, pair[1].Power.Total),
+				Cell:    -pct(pair[0].Power.Cell, pair[1].Power.Cell),
+				Net:     -pct(pair[0].Power.Net, pair[1].Power.Net),
+				Leakage: -pct(pair[0].Power.Leakage, pair[1].Power.Leakage),
+			})
+		}
+	}
+	return pts, nil
+}
+
+// RenderFig4 formats the Fig 4 series.
+func (s *Study) RenderFig4() (string, error) {
+	pts, err := s.Fig4()
+	if err != nil {
+		return "", err
+	}
+	t := report.New("Fig 4: power reduction (T-MI over 2D) vs target clock period",
+		"circuit", "clock ns", "corner", "total", "cell", "net", "leakage")
+	for _, p := range pts {
+		t.Add(p.Circuit, report.F(p.ClockNs, 2), p.Label,
+			report.F(p.Total, 1)+"%", report.F(p.Cell, 1)+"%",
+			report.F(p.Net, 1)+"%", report.F(p.Leakage, 1)+"%")
+	}
+	return t.String(), nil
+}
+
+// Fig6Curve is the fanout→average-wirelength curve of one circuit.
+type Fig6Curve struct {
+	Circuit string
+	Fanout  []int
+	Length  []float64 // µm
+}
+
+// Fig6 extracts the measured fanout-vs-wirelength curves (the 2D wire load
+// models of Section S2) from the routed 45nm designs.
+func (s *Study) Fig6() ([]Fig6Curve, error) {
+	var curves []Fig6Curve
+	for _, name := range circuits.Names {
+		r, err := s.run(flow.Config{Circuit: name, Node: tech.N45, Mode: tech.Mode2D})
+		if err != nil {
+			return nil, err
+		}
+		var fanouts []int
+		for f := range r.WLSamples {
+			if f >= 1 {
+				fanouts = append(fanouts, f)
+			}
+		}
+		sort.Ints(fanouts)
+		c := Fig6Curve{Circuit: name}
+		for _, f := range fanouts {
+			xs := r.WLSamples[f]
+			if len(xs) == 0 {
+				continue
+			}
+			sum := 0.0
+			for _, x := range xs {
+				sum += x
+			}
+			c.Fanout = append(c.Fanout, f)
+			c.Length = append(c.Length, sum/float64(len(xs)))
+		}
+		curves = append(curves, c)
+	}
+	return curves, nil
+}
+
+// RenderFig6 formats the Fig 6 curves at a few representative fanouts.
+func (s *Study) RenderFig6() (string, error) {
+	curves, err := s.Fig6()
+	if err != nil {
+		return "", err
+	}
+	taps := []int{1, 2, 4, 8, 16}
+	t := report.New("Fig 6: fanout vs average wirelength (µm), 2D designs",
+		"circuit", "f=1", "f=2", "f=4", "f=8", "f=16")
+	for _, c := range curves {
+		row := []string{c.Circuit}
+		for _, tap := range taps {
+			val := ""
+			for i, f := range c.Fanout {
+				if f == tap {
+					val = report.F(c.Length[i], 1)
+				}
+			}
+			row = append(row, val)
+		}
+		t.AddRow(row)
+	}
+	return t.String(), nil
+}
+
+// Fig10Row is the per-layer-class wirelength usage of one routed design.
+type Fig10Row struct {
+	Circuit string
+	Mode    tech.Mode
+	// Percent of total wirelength per class: M1+local, intermediate, global.
+	LocalPct, IntermediatePct, GlobalPct float64
+}
+
+// Fig10 reports metal layer usage for LDPC and M256 at 7nm.
+func (s *Study) Fig10() ([]Fig10Row, error) {
+	var rows []Fig10Row
+	for _, name := range []string{"LDPC", "M256"} {
+		for _, mode := range []tech.Mode{tech.Mode2D, tech.ModeTMI} {
+			r, err := s.run(flow.Config{Circuit: name, Node: tech.N7, Mode: mode})
+			if err != nil {
+				return nil, err
+			}
+			total := r.TotalWL
+			if total == 0 {
+				total = 1
+			}
+			local := r.WLByClass[tech.ClassM1] + r.WLByClass[tech.ClassLocal]
+			rows = append(rows, Fig10Row{
+				Circuit: name, Mode: mode,
+				LocalPct:        100 * local / total,
+				IntermediatePct: 100 * r.WLByClass[tech.ClassIntermediate] / total,
+				GlobalPct:       100 * r.WLByClass[tech.ClassGlobal] / total,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// RenderFig10 formats the layer usage summary.
+func (s *Study) RenderFig10() (string, error) {
+	rows, err := s.Fig10()
+	if err != nil {
+		return "", err
+	}
+	t := report.New("Fig 10: wirelength by metal layer class (7nm)",
+		"design", "local", "intermediate", "global")
+	for _, r := range rows {
+		t.Add(r.Circuit+"-"+modeShort(r.Mode),
+			report.F(r.LocalPct, 1)+"%", report.F(r.IntermediatePct, 1)+"%", report.F(r.GlobalPct, 1)+"%")
+	}
+	return t.String(), nil
+}
+
+// Fig11Point is one switching-activity setting of the activity study.
+type Fig11Point struct {
+	Circuit   string
+	Activity  float64 // sequential output activity factor
+	Power2D   float64 // mW
+	Power3D   float64
+	Reduction float64 // %
+}
+
+// Fig11 sweeps the sequential-output switching activity factor and reports
+// the T-MI power reduction, which the paper finds nearly activity-invariant.
+func (s *Study) Fig11(circuitNames []string) ([]Fig11Point, error) {
+	if len(circuitNames) == 0 {
+		circuitNames = circuits.Names
+	}
+	var pts []Fig11Point
+	for _, name := range circuitNames {
+		for _, a := range []float64{0.1, 0.2, 0.3, 0.4} {
+			var pair [2]*flow.Result
+			for k, mode := range []tech.Mode{tech.Mode2D, tech.ModeTMI} {
+				r, err := s.run(flow.Config{
+					Circuit: name, Node: tech.N45, Mode: mode,
+					Activities: power.Activities{PrimaryInput: 0.2, SeqOutput: a},
+				})
+				if err != nil {
+					return nil, err
+				}
+				pair[k] = r
+			}
+			pts = append(pts, Fig11Point{
+				Circuit: name, Activity: a,
+				Power2D: pair[0].Power.Total, Power3D: pair[1].Power.Total,
+				Reduction: -pct(pair[0].Power.Total, pair[1].Power.Total),
+			})
+		}
+	}
+	return pts, nil
+}
+
+// RenderFig11 formats the activity sweep.
+func (s *Study) RenderFig11(names []string) (string, error) {
+	pts, err := s.Fig11(names)
+	if err != nil {
+		return "", err
+	}
+	t := report.New("Fig 11: power vs switching activity factor (45nm)",
+		"circuit", "activity", "2D mW", "3D mW", "reduction")
+	for _, p := range pts {
+		t.Add(p.Circuit, report.F(p.Activity, 1), report.F(p.Power2D, 2),
+			report.F(p.Power3D, 2), report.F(p.Reduction, 1)+"%")
+	}
+	return t.String(), nil
+}
+
+var _ = route.NumClasses

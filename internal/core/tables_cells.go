@@ -1,0 +1,270 @@
+package core
+
+import (
+	"tmi3d/internal/cellgen"
+	"tmi3d/internal/extract"
+	"tmi3d/internal/liberty"
+	"tmi3d/internal/report"
+	"tmi3d/internal/tech"
+)
+
+// Table1Row is one row of the cell-internal parasitic RC comparison.
+type Table1Row struct {
+	Cell           string
+	R2D, R3D, R3Dc float64 // kΩ
+	C2D, C3D, C3Dc float64 // fF
+	Paper          [6]float64
+}
+
+// table1Paper holds the published values (R2D, R3D, R3Dc, C2D, C3D, C3Dc).
+var table1Paper = map[string][6]float64{
+	"INV":   {0.186, 0.107, 0.107, 0.363, 0.368, 0.349},
+	"NAND2": {0.372, 0.237, 0.237, 0.561, 0.586, 0.547},
+	"MUX2":  {1.133, 0.975, 0.975, 1.823, 1.938, 1.796},
+	"DFF":   {2.876, 3.045, 3.045, 4.108, 5.101, 4.740},
+}
+
+// Table1 reproduces the cell internal parasitic RC study (Section 3.2).
+func Table1() []Table1Row {
+	var rows []Table1Row
+	for _, base := range []string{"INV", "NAND2", "MUX2", "DFF"} {
+		def, _ := cellgen.Template(base)
+		l2 := cellgen.Generate2D(&def)
+		l3 := cellgen.GenerateTMI(&def)
+		e2 := extract.Extract(&def, l2, extract.Dielectric)
+		e3 := extract.Extract(&def, l3, extract.Dielectric)
+		e3c := extract.Extract(&def, l3, extract.Conductor)
+		rows = append(rows, Table1Row{
+			Cell: base,
+			R2D:  e2.TotalR, R3D: e3.TotalR, R3Dc: e3c.TotalR,
+			C2D: e2.TotalC, C3D: e3.TotalC, C3Dc: e3c.TotalC,
+			Paper: table1Paper[base],
+		})
+	}
+	return rows
+}
+
+// RenderTable1 formats Table 1 with the paper's values alongside.
+func RenderTable1() string {
+	t := report.New("Table 1: cell internal parasitic RC (paper values in parentheses)",
+		"cell", "R2D kΩ", "R3D", "R3D-c", "C2D fF", "C3D", "C3D-c")
+	for _, r := range Table1() {
+		t.AddRow([]string{
+			r.Cell,
+			report.F(r.R2D, 3) + " (" + report.F(r.Paper[0], 3) + ")",
+			report.F(r.R3D, 3) + " (" + report.F(r.Paper[1], 3) + ")",
+			report.F(r.R3Dc, 3) + " (" + report.F(r.Paper[2], 3) + ")",
+			report.F(r.C2D, 3) + " (" + report.F(r.Paper[3], 3) + ")",
+			report.F(r.C3D, 3) + " (" + report.F(r.Paper[4], 3) + ")",
+			report.F(r.C3Dc, 3) + " (" + report.F(r.Paper[5], 3) + ")",
+		})
+	}
+	return t.String()
+}
+
+// Table2Row is one cell × corner of the delay/power comparison.
+type Table2Row struct {
+	Cell             string
+	Corner           string  // fast / medium / slow
+	Delay2D, Delay3D float64 // ps
+	Power2D, Power3D float64 // fJ
+	PaperDelay2D     float64
+	PaperDelayRatio  float64 // paper's 3D/2D %
+	PaperPower2D     float64
+	PaperPowerRatio  float64
+}
+
+var table2Paper = map[string][3][4]float64{
+	// per corner: {delay2D, delayRatio%, power2D, powerRatio%}
+	"INV":   {{17.2, 98.3, 0.383, 91.6}, {51.1, 99.4, 0.362, 94.8}, {188.3, 99.8, 0.449, 96.0}},
+	"NAND2": {{21.2, 98.6, 0.616, 94.6}, {56.2, 99.5, 0.604, 96.2}, {195.9, 99.8, 0.698, 96.7}},
+	"MUX2":  {{59.8, 97.3, 2.113, 97.5}, {97.0, 98.2, 2.239, 96.8}, {215.1, 98.8, 2.555, 97.3}},
+	"DFF":   {{108.8, 104.2, 6.341, 106.2}, {142.6, 103.1, 6.358, 106.3}, {237.4, 102.5, 7.303, 104.9}},
+}
+
+// Table2 reproduces the characterized cell delay/power comparison.
+func Table2() ([]Table2Row, error) {
+	l2, err := liberty.Default(tech.N45, tech.Mode2D)
+	if err != nil {
+		return nil, err
+	}
+	l3, err := liberty.Default(tech.N45, tech.ModeTMI)
+	if err != nil {
+		return nil, err
+	}
+	corners := []struct {
+		name             string
+		slew, slewDFF, c float64
+	}{
+		{"fast", 7.5, 5, 0.8},
+		{"medium", 37.5, 28.1, 3.2},
+		{"slow", 150, 112.5, 12.8},
+	}
+	var rows []Table2Row
+	for _, base := range []string{"INV", "NAND2", "MUX2", "DFF"} {
+		c2 := l2.MustCell(base + "_X1")
+		c3 := l3.MustCell(base + "_X1")
+		a2 := c2.WorstArc(c2.Outputs[0])
+		a3 := c3.WorstArc(c3.Outputs[0])
+		for ci, corner := range corners {
+			slew := corner.slew
+			if c2.Seq {
+				slew = corner.slewDFF
+			}
+			p := table2Paper[base][ci]
+			rows = append(rows, Table2Row{
+				Cell: base, Corner: corner.name,
+				Delay2D:      a2.Delay.At(slew, corner.c),
+				Delay3D:      a3.Delay.At(slew, corner.c),
+				Power2D:      a2.Energy.At(slew, corner.c),
+				Power3D:      a3.Energy.At(slew, corner.c),
+				PaperDelay2D: p[0], PaperDelayRatio: p[1],
+				PaperPower2D: p[2], PaperPowerRatio: p[3],
+			})
+		}
+	}
+	return rows, nil
+}
+
+// RenderTable2 formats Table 2.
+func RenderTable2() (string, error) {
+	rows, err := Table2()
+	if err != nil {
+		return "", err
+	}
+	t := report.New("Table 2: cell delay and internal energy, 3D/2D ratios (paper ratios in parentheses)",
+		"cell", "corner", "d2D ps", "d3D", "ratio", "e2D fJ", "e3D", "ratio")
+	for _, r := range rows {
+		t.AddRow([]string{
+			r.Cell, r.Corner,
+			report.F(r.Delay2D, 1), report.F(r.Delay3D, 1),
+			report.F(100*r.Delay3D/r.Delay2D, 1) + "% (" + report.F(r.PaperDelayRatio, 1) + "%)",
+			report.F(r.Power2D, 3), report.F(r.Power3D, 3),
+			report.F(100*r.Power3D/r.Power2D, 1) + "% (" + report.F(r.PaperPowerRatio, 1) + "%)",
+		})
+	}
+	return t.String(), nil
+}
+
+// Table3Row summarizes the metal stack (Table 3).
+type Table3Row struct {
+	Level                     string
+	Layers2D, Layers3D        string
+	Width, Spacing, Thickness float64 // nm
+}
+
+// Table3 returns the 45nm metal layer summary.
+func Table3() []Table3Row {
+	t2 := tech.New(tech.N45, tech.Mode2D)
+	t3 := tech.New(tech.N45, tech.ModeTMI)
+	classes := []struct {
+		c    tech.LayerClass
+		name string
+	}{
+		{tech.ClassGlobal, "global"},
+		{tech.ClassIntermediate, "intermediate"},
+		{tech.ClassLocal, "local"},
+		{tech.ClassM1, "M1"},
+	}
+	var rows []Table3Row
+	for _, cl := range classes {
+		ls2 := t2.LayersOfClass(cl.c)
+		ls3 := t3.LayersOfClass(cl.c)
+		rows = append(rows, Table3Row{
+			Level:     cl.name,
+			Layers2D:  layerSpan(ls2),
+			Layers3D:  layerSpan(ls3),
+			Width:     ls2[0].Width * 1000,
+			Spacing:   ls2[0].Spacing * 1000,
+			Thickness: ls2[0].Thickness * 1000,
+		})
+	}
+	return rows
+}
+
+func layerSpan(ls []tech.MetalLayer) string {
+	if len(ls) == 0 {
+		return "-"
+	}
+	if len(ls) == 1 {
+		return ls[0].Name
+	}
+	return ls[0].Name + "-" + ls[len(ls)-1].Name
+}
+
+// RenderTable3 formats Table 3.
+func RenderTable3() string {
+	t := report.New("Table 3: metal layers (45nm)", "level", "2D", "3D", "width nm", "spacing", "thickness")
+	for _, r := range Table3() {
+		t.Add(r.Level, r.Layers2D, r.Layers3D, report.F(r.Width, 0), report.F(r.Spacing, 0), report.F(r.Thickness, 0))
+	}
+	return t.String()
+}
+
+// Table6 returns the node setup comparison rows.
+func Table6() [2]tech.NodeSetup {
+	return [2]tech.NodeSetup{tech.Setup(tech.N45), tech.Setup(tech.N7)}
+}
+
+// RenderTable6 formats Table 6.
+func RenderTable6() string {
+	t := report.New("Table 6: 45nm vs 7nm setup", "parameter", "45nm", "7nm")
+	s := Table6()
+	t.Add("transistor", s[0].Transistor, s[1].Transistor)
+	t.Add("VDD (V)", s[0].VDD, s[1].VDD)
+	t.Add("drawn length (nm)", s[0].TransistorLength*1000, s[1].TransistorLength*1000)
+	t.Add("transistor width", s[0].TransistorWidth, s[1].TransistorWidth)
+	t.Add("BEOL dielectric k", s[0].BEOLDielectricK, s[1].BEOLDielectricK)
+	t.Add("M2 width (nm)", s[0].M2Width*1000, s[1].M2Width*1000)
+	t.Add("MIV diameter (nm)", s[0].MIVDiameter*1000, s[1].MIVDiameter*1000)
+	t.Add("ILD thickness (nm)", s[0].ILDThickness*1000, s[1].ILDThickness*1000)
+	t.Add("cell height (µm)", s[0].CellHeight, s[1].CellHeight)
+	return t.String()
+}
+
+// Table10 returns the ITRS projections.
+func Table10() [2]tech.ITRSProjection {
+	return [2]tech.ITRSProjection{tech.ITRS(tech.N45), tech.ITRS(tech.N7)}
+}
+
+// RenderTable10 formats Table 10.
+func RenderTable10() string {
+	t := report.New("Table 10: ITRS projection (high performance logic)", "parameter", "45nm", "7nm")
+	p := Table10()
+	t.Add("year", p[0].Year, p[1].Year)
+	t.Add("device type", p[0].DeviceType, p[1].DeviceType)
+	t.Add("NMOS drive (µA/µm)", p[0].NMOSDriveCurrent, p[1].NMOSDriveCurrent)
+	t.Add("Cu eff. resistivity (µΩ·cm)", p[0].CuEffResistivity, p[1].CuEffResistivity)
+	t.Add("Cu unit cap (fF/µm)", p[0].CuUnitCapacitance, p[1].CuUnitCapacitance)
+	return t.String()
+}
+
+// Table11 reproduces the 7nm cell characterization via SPICE simulation of
+// the scaled netlists (Section S3).
+func Table11() ([]liberty.Table11Row, liberty.Scale7Factors, error) {
+	return liberty.Characterize7Reference()
+}
+
+// RenderTable11 formats Table 11 plus the derived scaling factors.
+func RenderTable11() (string, error) {
+	rows, f, err := Table11()
+	if err != nil {
+		return "", err
+	}
+	t := report.New("Table 11: 7nm cell characterization (slew 19ps, load 3.2fF at 45nm-equivalent)",
+		"cell", "cin45 fF", "cin7", "d45 ps", "d7", "slew45", "slew7", "e45 fJ", "e7", "leak45 pW", "leak7")
+	for _, r := range rows {
+		t.Add(r.Cell,
+			report.F(r.InputCap45, 3), report.F(r.InputCap7, 3),
+			report.F(r.Delay45, 1), report.F(r.Delay7, 1),
+			report.F(r.OutSlew45, 1), report.F(r.OutSlew7, 1),
+			report.F(r.CellPower45, 3), report.F(r.CellPower7, 3),
+			report.F(r.Leakage45, 0), report.F(r.Leakage7, 0))
+	}
+	out := t.String()
+	out += "measured scale factors: cap=" + report.F(f.InputCap, 3) +
+		" delay=" + report.F(f.Delay, 3) + " slew=" + report.F(f.OutSlew, 3) +
+		" energy=" + report.F(f.Energy, 3) + " leakage=" + report.F(f.Leakage, 3) + "\n"
+	out += "paper scale factors:    cap=0.179 delay=0.471 slew=0.420 energy=0.084 leakage=0.678\n"
+	return out, nil
+}

@@ -1,0 +1,349 @@
+package core
+
+import (
+	"tmi3d/internal/flow"
+	"tmi3d/internal/report"
+	"tmi3d/internal/tech"
+)
+
+// Table5Row compares a design point with the published prior-work numbers.
+type Table5Row struct {
+	Circuit string
+	Source  string // "ours", "[2]", "[7]"
+	Mode    string
+	WLm     float64 // total wirelength, m
+	DelayNs float64 // longest path delay, ns
+	PowerMW float64
+}
+
+// priorWork holds the published Table 5 reference rows from CELONCEL [2]
+// (Bobba et al., ASPDAC'11, INTRACEL timing-driven+IPO) and the ICCAD'12
+// transistor-level monolithic work [7] (3TM setup).
+var priorWork = []Table5Row{
+	{"AES", "[7]", "2D", 0.271, 1.310, 13.7},
+	{"AES", "[7]", "3D", 0.214, 1.165, 12.8},
+	{"LDPC", "[2]", "2D", 1.83, 2.461, 1554},
+	{"LDPC", "[2]", "3D", 1.60, 2.421, 1461},
+	{"DES", "[2]", "2D", 0.671, 1.132, 620.2},
+	{"DES", "[2]", "3D", 0.581, 0.971, 608.2},
+	{"DES", "[7]", "2D", 0.849, 1.086, 134.9},
+	{"DES", "[7]", "3D", 0.682, 0.923, 130.7},
+}
+
+// Table5 assembles our AES/LDPC/DES results next to the published rows.
+func (s *Study) Table5() ([]Table5Row, error) {
+	var rows []Table5Row
+	for _, name := range []string{"AES", "LDPC", "DES"} {
+		d2, d3, err := s.Pair(name, tech.N45)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range []*flow.Result{d2, d3} {
+			mode := "2D"
+			if r.Config.Mode.Is3D() {
+				mode = "3D"
+			}
+			rows = append(rows, Table5Row{
+				Circuit: name, Source: "ours", Mode: mode,
+				WLm:     r.TotalWL / 1e6,
+				DelayNs: (r.ClockPs - r.WNS) / 1000,
+				PowerMW: r.Power.Total,
+			})
+		}
+		for _, p := range priorWork {
+			if p.Circuit == name {
+				rows = append(rows, p)
+			}
+		}
+	}
+	return rows, nil
+}
+
+// RenderTable5 formats Table 5.
+func (s *Study) RenderTable5() (string, error) {
+	rows, err := s.Table5()
+	if err != nil {
+		return "", err
+	}
+	t := report.New("Table 5: design results vs previous works (absolute values are not comparable across flows)",
+		"circuit", "source", "type", "WL m", "longest path ns", "power mW")
+	for _, r := range rows {
+		t.Add(r.Circuit, r.Source, r.Mode, report.F(r.WLm, 3), report.F(r.DelayNs, 3), report.F(r.PowerMW, 2))
+	}
+	return t.String(), nil
+}
+
+// Table8Row is one pin-cap scenario of the DES 7nm study.
+type Table8Row struct {
+	Variant          string // "", "-p20", "-p40", "-p60"
+	Mode             tech.Mode
+	WLmm             float64
+	TotalMW, CellMW  float64
+	NetMW, LeakMW    float64
+	ReductionPercent float64 // T-MI total power delta for this variant
+}
+
+// Table8 reproduces the pin-cap reduction study: DES at 7nm with library pin
+// capacitances reduced by 0/20/40/60%.
+func (s *Study) Table8() ([]Table8Row, error) {
+	var rows []Table8Row
+	for _, v := range []struct {
+		suffix string
+		scale  float64
+	}{
+		{"", 1.0}, {"-p20", 0.8}, {"-p40", 0.6}, {"-p60", 0.4},
+	} {
+		var pair [2]*flow.Result
+		for i, mode := range []tech.Mode{tech.Mode2D, tech.ModeTMI} {
+			r, err := s.run(flow.Config{
+				Circuit: "DES", Node: tech.N7, Mode: mode, PinCapScale: v.scale,
+			})
+			if err != nil {
+				return nil, err
+			}
+			pair[i] = r
+		}
+		red := pct(pair[0].Power.Total, pair[1].Power.Total)
+		for _, r := range pair {
+			rows = append(rows, Table8Row{
+				Variant: v.suffix, Mode: r.Config.Mode,
+				WLmm:    r.TotalWL / 1000,
+				TotalMW: r.Power.Total, CellMW: r.Power.Cell,
+				NetMW: r.Power.Net, LeakMW: r.Power.Leakage,
+				ReductionPercent: red,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// RenderTable8 formats Table 8.
+func (s *Study) RenderTable8() (string, error) {
+	rows, err := s.Table8()
+	if err != nil {
+		return "", err
+	}
+	t := report.New("Table 8: impact of lower cell pin cap (DES, 7nm)",
+		"design", "WL mm", "total mW", "cell", "net", "leak", "T-MI Δtotal")
+	for _, r := range rows {
+		t.Add("DES-"+modeShort(r.Mode)+r.Variant, report.F(r.WLmm, 1),
+			report.F(r.TotalMW, 3), report.F(r.CellMW, 3), report.F(r.NetMW, 3),
+			report.F(r.LeakMW, 3), report.Pct(r.ReductionPercent))
+	}
+	return t.String(), nil
+}
+
+func modeShort(m tech.Mode) string {
+	if m.Is3D() {
+		return "3D"
+	}
+	return "2D"
+}
+
+// Table9Row is one resistivity scenario of the M256 7nm study.
+type Table9Row struct {
+	Variant                        string // "" or "-m"
+	Mode                           tech.Mode
+	WLmm                           float64
+	TotalMW, CellMW, NetMW, LeakMW float64
+	ReductionPercent               float64
+}
+
+// Table9 reproduces the lower-metal-resistivity study: M256 at 7nm with the
+// local and intermediate layer resistivity halved.
+func (s *Study) Table9() ([]Table9Row, error) {
+	var rows []Table9Row
+	for _, v := range []struct {
+		suffix string
+		scale  map[tech.LayerClass]float64
+	}{
+		{"", nil},
+		{"-m", map[tech.LayerClass]float64{
+			tech.ClassM1: 0.5, tech.ClassLocal: 0.5, tech.ClassIntermediate: 0.5,
+		}},
+	} {
+		var pair [2]*flow.Result
+		for i, mode := range []tech.Mode{tech.Mode2D, tech.ModeTMI} {
+			r, err := s.run(flow.Config{
+				Circuit: "M256", Node: tech.N7, Mode: mode, ResistivityScale: v.scale,
+			})
+			if err != nil {
+				return nil, err
+			}
+			pair[i] = r
+		}
+		red := pct(pair[0].Power.Total, pair[1].Power.Total)
+		for _, r := range pair {
+			rows = append(rows, Table9Row{
+				Variant: v.suffix, Mode: r.Config.Mode,
+				WLmm:    r.TotalWL / 1000,
+				TotalMW: r.Power.Total, CellMW: r.Power.Cell,
+				NetMW: r.Power.Net, LeakMW: r.Power.Leakage,
+				ReductionPercent: red,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// RenderTable9 formats Table 9.
+func (s *Study) RenderTable9() (string, error) {
+	rows, err := s.Table9()
+	if err != nil {
+		return "", err
+	}
+	t := report.New("Table 9: impact of lower metal resistivity (M256, 7nm)",
+		"design", "WL mm", "total mW", "cell", "net", "leak", "T-MI Δtotal")
+	for _, r := range rows {
+		t.Add("M256-"+modeShort(r.Mode)+r.Variant, report.F(r.WLmm, 1),
+			report.F(r.TotalMW, 2), report.F(r.CellMW, 2), report.F(r.NetMW, 2),
+			report.F(r.LeakMW, 2), report.Pct(r.ReductionPercent))
+	}
+	return t.String(), nil
+}
+
+// Table15Row compares a T-MI design synthesized with vs without its own WLM.
+type Table15Row struct {
+	Circuit string
+	WithWLM bool
+	WLmm    float64
+	WNS     float64
+	TotalMW float64
+	DeltaWL float64 // -n over with-WLM, %
+	DeltaP  float64
+}
+
+// Table15 reproduces the T-MI wire-load-model impact study: every circuit's
+// T-MI design, synthesized with the T-MI WLM versus the 2D WLM ("-n").
+func (s *Study) Table15() ([]Table15Row, error) {
+	var rows []Table15Row
+	for _, name := range []string{"FPU", "AES", "LDPC", "DES", "M256"} {
+		with, err := s.run(flow.Config{Circuit: name, Node: tech.N45, Mode: tech.ModeTMI})
+		if err != nil {
+			return nil, err
+		}
+		without, err := s.run(flow.Config{Circuit: name, Node: tech.N45, Mode: tech.ModeTMI, Use2DWLM: true})
+		if err != nil {
+			return nil, err
+		}
+		dWL := pct(with.TotalWL, without.TotalWL)
+		dP := pct(with.Power.Total, without.Power.Total)
+		rows = append(rows,
+			Table15Row{Circuit: name, WithWLM: true, WLmm: with.TotalWL / 1000, WNS: with.WNS, TotalMW: with.Power.Total},
+			Table15Row{Circuit: name, WithWLM: false, WLmm: without.TotalWL / 1000, WNS: without.WNS, TotalMW: without.Power.Total, DeltaWL: dWL, DeltaP: dP},
+		)
+	}
+	return rows, nil
+}
+
+// RenderTable15 formats Table 15.
+func (s *Study) RenderTable15() (string, error) {
+	rows, err := s.Table15()
+	if err != nil {
+		return "", err
+	}
+	t := report.New("Table 15: layout results with/without the T-MI wire load model ('-n' = 2D WLM)",
+		"design", "WL mm", "WNS ps", "total mW", "ΔWL", "Δpower")
+	for _, r := range rows {
+		name := r.Circuit + "-3D"
+		dwl, dp := "", ""
+		if !r.WithWLM {
+			name += "-n"
+			dwl, dp = report.Pct(r.DeltaWL), report.Pct(r.DeltaP)
+		}
+		t.Add(name, report.F(r.WLmm, 1), report.F(r.WNS, 0), report.F(r.TotalMW, 2), dwl, dp)
+	}
+	return t.String(), nil
+}
+
+// Table16Row is the wire-vs-pin capacitance/power breakdown.
+type Table16Row struct {
+	Circuit                 string
+	Mode                    tech.Mode
+	WireCapPF, PinCapPF     float64
+	WirePowerMW, PinPowerMW float64
+}
+
+// Table16 reproduces the net power breakdown for LDPC and DES at 45nm — the
+// circuit-characteristics explanation of Section 4.3 / S8.
+func (s *Study) Table16() ([]Table16Row, error) {
+	var rows []Table16Row
+	for _, name := range []string{"LDPC", "DES"} {
+		d2, d3, err := s.Pair(name, tech.N45)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range []*flow.Result{d2, d3} {
+			rows = append(rows, Table16Row{
+				Circuit: name, Mode: r.Config.Mode,
+				WireCapPF: r.Power.WireCap, PinCapPF: r.Power.PinCap,
+				WirePowerMW: r.Power.Wire, PinPowerMW: r.Power.Pin,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// RenderTable16 formats Table 16.
+func (s *Study) RenderTable16() (string, error) {
+	rows, err := s.Table16()
+	if err != nil {
+		return "", err
+	}
+	t := report.New("Table 16: wire vs pin capacitance breakdown (45nm)",
+		"design", "wire cap pF", "pin cap pF", "wire power mW", "pin power mW")
+	for _, r := range rows {
+		t.Add(r.Circuit+"-"+modeShort(r.Mode), report.F(r.WireCapPF, 1), report.F(r.PinCapPF, 1),
+			report.F(r.WirePowerMW, 2), report.F(r.PinPowerMW, 2))
+	}
+	return t.String(), nil
+}
+
+// Table17Row is one metal-stack scenario of the T-MI+M study.
+type Table17Row struct {
+	Circuit                        string
+	Stack                          tech.Mode // ModeTMI or ModeTMIM
+	WLmm                           float64
+	TotalMW, CellMW, NetMW, LeakMW float64
+}
+
+// Table17 reproduces the modified metal stack study: LDPC and M256 at 7nm
+// with the T-MI+M stack (2 local + 2 intermediate layers added instead of 3
+// local).
+func (s *Study) Table17() ([]Table17Row, error) {
+	var rows []Table17Row
+	for _, name := range []string{"LDPC", "M256"} {
+		for _, mode := range []tech.Mode{tech.ModeTMI, tech.ModeTMIM} {
+			r, err := s.run(flow.Config{Circuit: name, Node: tech.N7, Mode: mode})
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, Table17Row{
+				Circuit: name, Stack: mode,
+				WLmm:    r.TotalWL / 1000,
+				TotalMW: r.Power.Total, CellMW: r.Power.Cell,
+				NetMW: r.Power.Net, LeakMW: r.Power.Leakage,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// RenderTable17 formats Table 17.
+func (s *Study) RenderTable17() (string, error) {
+	rows, err := s.Table17()
+	if err != nil {
+		return "", err
+	}
+	t := report.New("Table 17: impact of the modified metal stack ('+M') at 7nm",
+		"design", "WL mm", "total mW", "cell", "net", "leak")
+	for _, r := range rows {
+		name := r.Circuit + "-3D"
+		if r.Stack == tech.ModeTMIM {
+			name += "+M"
+		}
+		t.Add(name, report.F(r.WLmm, 1), report.F(r.TotalMW, 2), report.F(r.CellMW, 2),
+			report.F(r.NetMW, 2), report.F(r.LeakMW, 2))
+	}
+	return t.String(), nil
+}

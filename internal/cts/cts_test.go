@@ -1,0 +1,104 @@
+package cts
+
+import (
+	"testing"
+
+	"tmi3d/internal/circuits"
+	"tmi3d/internal/liberty"
+	"tmi3d/internal/place"
+	"tmi3d/internal/synth"
+	"tmi3d/internal/tech"
+	"tmi3d/internal/wlm"
+)
+
+func placed(t testing.TB, mode tech.Mode) *place.Placement {
+	t.Helper()
+	lib, err := liberty.Default(tech.N45, mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := circuits.Generate("AES", 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, err := synth.Run(d, synth.Options{Lib: lib, WLM: wlm.BuildForMode(tech.N45, mode, 20000)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := place.Run(sr.Design, place.Options{Lib: lib, Tech: tech.New(tech.N45, mode), TargetUtil: 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestTreeCoversAllSinks(t *testing.T) {
+	p := placed(t, tech.Mode2D)
+	r := Build(p, 24)
+	want := 0
+	for i := range p.Design.Instances {
+		if p.Design.Instances[i].Func == "DFF" {
+			want++
+		}
+	}
+	if r.NumSinks != want {
+		t.Errorf("tree covers %d sinks, want %d", r.NumSinks, want)
+	}
+	if r.NumBuffers < want/24 {
+		t.Errorf("only %d buffers for %d sinks at fanout 24", r.NumBuffers, want)
+	}
+	if r.Wirelength <= 0 || r.Levels < 1 {
+		t.Errorf("degenerate tree: %+v", r)
+	}
+}
+
+// The tree wirelength must be bounded below by a star from the die center
+// (impossible to beat) divided by a small constant, and above by a sink-count
+// multiple of the die dimension.
+func TestTreeWirelengthSane(t *testing.T) {
+	p := placed(t, tech.Mode2D)
+	r := Build(p, 16)
+	dieDim := p.Die.W() + p.Die.H()
+	if r.Wirelength > float64(r.NumSinks)*dieDim {
+		t.Errorf("tree WL %.0f implausibly long", r.Wirelength)
+	}
+	if r.Wirelength < p.Die.W()/2 {
+		t.Errorf("tree WL %.0f implausibly short for die %v", r.Wirelength, p.Die)
+	}
+}
+
+// Smaller fanout bound → more buffers, shorter leaf wiring per buffer.
+func TestFanoutBoundControlsBuffers(t *testing.T) {
+	p := placed(t, tech.Mode2D)
+	wide := Build(p, 48)
+	tight := Build(p, 8)
+	if tight.NumBuffers <= wide.NumBuffers {
+		t.Errorf("fanout 8 (%d bufs) should use more buffers than fanout 48 (%d)",
+			tight.NumBuffers, wide.NumBuffers)
+	}
+}
+
+// The T-MI clock tree is shorter — the footprint shrink applies to the clock
+// network too.
+func TestTMITreeShorter(t *testing.T) {
+	r2 := Build(placed(t, tech.Mode2D), 24)
+	r3 := Build(placed(t, tech.ModeTMI), 24)
+	if r3.Wirelength >= r2.Wirelength {
+		t.Errorf("T-MI clock tree %.0f µm should be shorter than 2D %.0f µm",
+			r3.Wirelength, r2.Wirelength)
+	}
+}
+
+func TestEmptyDesign(t *testing.T) {
+	p := placed(t, tech.Mode2D)
+	// Strip DFFs by renaming their function (no clock sinks remain).
+	for i := range p.Design.Instances {
+		if p.Design.Instances[i].Func == "DFF" {
+			p.Design.Instances[i].Func = "DFFX"
+		}
+	}
+	r := Build(p, 24)
+	if r.NumSinks != 0 || r.NumBuffers != 0 || r.Wirelength != 0 {
+		t.Errorf("no-sink tree should be empty: %+v", r)
+	}
+}

@@ -1,0 +1,177 @@
+// Package device provides the compact transistor models used for cell
+// characterization: an alpha-power-law MOSFET with a smooth subthreshold
+// transition. Two parameter sets are shipped, standing in for the models the
+// paper uses:
+//
+//   - PTM45: ASU PTM 45nm planar bulk (the Nangate 45nm library's model)
+//   - PTMMG7: ASU PTM-MG HP 7nm multi-gate (FinFET)
+//
+// The parameters are calibrated so that the characterized cells land on the
+// delay/power values the paper publishes (Tables 2 and 11), which is the same
+// role the original SPICE decks play in the paper's flow.
+//
+// Electrical unit system shared with internal/spice: volts, milliamps,
+// kiloohms (so conductance is in mA/V = mS·10³), femtofarads, picoseconds.
+// This makes R(kΩ)·C(fF) come out directly in ps.
+package device
+
+import "math"
+
+// Kind distinguishes NMOS from PMOS.
+type Kind int
+
+// Transistor polarities.
+const (
+	NMOS Kind = iota
+	PMOS
+)
+
+func (k Kind) String() string {
+	if k == NMOS {
+		return "nmos"
+	}
+	return "pmos"
+}
+
+// ThermalVoltage is kT/q at room temperature, volts.
+const ThermalVoltage = 0.02585
+
+// Params is one transistor model card.
+type Params struct {
+	Kind  Kind
+	Vt    float64 // threshold voltage magnitude, V
+	Alpha float64 // velocity-saturation exponent
+	// K is the transconductance coefficient in mA/(µm·V^Alpha):
+	// Idsat = K · W · (Vgs-Vt)^Alpha.
+	K         float64
+	Lambda    float64 // channel-length modulation, 1/V
+	KvSat     float64 // Vdsat = KvSat · (Vgs-Vt)
+	NFactor   float64 // subthreshold slope factor
+	CgPerUm   float64 // gate capacitance, fF per µm of effective width
+	CjPerUm   float64 // source/drain junction capacitance, fF per µm
+	IoffPerUm float64 // off-state leakage current, nA per µm of width
+	// FinWeff is the effective width of one fin in µm (2·Hfin + Wfin);
+	// zero for planar devices, whose width is drawn explicitly.
+	FinWeff float64
+}
+
+// PTM45 returns the planar-bulk 45nm model card.
+func PTM45(kind Kind) Params {
+	p := Params{
+		Kind:      kind,
+		Vt:        0.46,
+		Alpha:     1.29,
+		K:         0.245, // mA/(µm·V^1.29), fitted to Table 2 delays
+		Lambda:    0.06,
+		KvSat:     0.80,
+		NFactor:   1.5,
+		CgPerUm:   0.32,
+		CjPerUm:   0.30,
+		IoffPerUm: 7.0,
+	}
+	if kind == PMOS {
+		// Hole mobility skew of the 45nm node (Section 3.1); the library
+		// compensates with wider PMOS devices.
+		p.Vt = 0.42
+		p.K = 0.134
+		p.IoffPerUm = 3.5
+	}
+	return p
+}
+
+// PTMMG7 returns the 7nm multi-gate (FinFET) model card. Width is quantized
+// in fins; Weff(1 fin) = 2·18nm + 7nm = 43nm (Section S3).
+func PTMMG7(kind Kind) Params {
+	p := Params{
+		Kind:      kind,
+		Vt:        0.22,
+		Alpha:     1.10,
+		K:         3.3, // mA/(µm·V^1.10) of Weff, fitted to Table 11 delays
+		Lambda:    0.04,
+		KvSat:     0.85,
+		NFactor:   1.35,
+		CgPerUm:   1.10,
+		CjPerUm:   0.38,
+		IoffPerUm: 70,
+		FinWeff:   0.043,
+	}
+	if kind == PMOS {
+		// Sub-32nm channel engineering equalizes hole/electron mobility
+		// (Section 3.1 footnote); FinFET P/N are near-symmetric.
+		p.K = 2.9
+		p.IoffPerUm = 56
+	}
+	return p
+}
+
+// vgtEff returns the smoothed overdrive: softplus((vgs-Vt)/(n·VT))·n·VT.
+// Above threshold it approaches vgs-Vt; below, it decays exponentially,
+// giving a continuous subthreshold region that keeps Newton iterations
+// well-behaved.
+func (p Params) vgtEff(vgs float64) float64 {
+	nvt := p.NFactor * ThermalVoltage
+	x := (vgs - p.Vt) / nvt
+	if x > 40 {
+		return vgs - p.Vt
+	}
+	return nvt * math.Log1p(math.Exp(x))
+}
+
+// Ids returns the drain current in mA for an NMOS-convention device with the
+// given source-referenced gate and drain voltages, for a device of width w µm
+// (planar) or w = nFins·FinWeff (multi-gate; callers pass effective width).
+// vds must be ≥ 0; the caller handles source/drain symmetry.
+func (p Params) Ids(w, vgs, vds float64) float64 {
+	vgt := p.vgtEff(vgs)
+	if vgt <= 0 {
+		return 0
+	}
+	idsat := p.K * w * math.Pow(vgt, p.Alpha)
+	vdsat := p.KvSat * vgt
+	clm := 1 + p.Lambda*vds
+	if vds >= vdsat {
+		return idsat * clm
+	}
+	x := vds / vdsat
+	return idsat * clm * x * (2 - x)
+}
+
+// IdsSym extends Ids to negative vds with the odd-symmetric formulation
+// I(vgs, vds<0) = −I(vgd, −vds): continuous through vds = 0, which keeps
+// Newton iterations from limit-cycling on nodes that sit between devices.
+func (p Params) IdsSym(w, vgs, vds float64) float64 {
+	if vds >= 0 {
+		return p.Ids(w, vgs, vds)
+	}
+	return -p.Ids(w, vgs-vds, -vds)
+}
+
+// Derivs returns the symmetric-model current plus its partial derivatives
+// with respect to vgs and vds (numerically differentiated; the model is
+// smooth away from vds=0 and continuous through it).
+func (p Params) Derivs(w, vgs, vds float64) (id, gm, gds float64) {
+	const h = 1e-5
+	id = p.IdsSym(w, vgs, vds)
+	gm = (p.IdsSym(w, vgs+h, vds) - p.IdsSym(w, vgs-h, vds)) / (2 * h)
+	gds = (p.IdsSym(w, vgs, vds+h) - p.IdsSym(w, vgs, vds-h)) / (2 * h)
+	return id, gm, gds
+}
+
+// GateCap returns the gate capacitance in fF for effective width w µm.
+func (p Params) GateCap(w float64) float64 { return p.CgPerUm * w }
+
+// JunctionCap returns the source/drain junction capacitance in fF.
+func (p Params) JunctionCap(w float64) float64 { return p.CjPerUm * w }
+
+// Leakage returns the off-state current in mA for effective width w µm.
+func (p Params) Leakage(w float64) float64 { return p.IoffPerUm * w * 1e-6 }
+
+// EffWidth maps a drawn width (planar) or fin count (multi-gate) to the
+// electrical width in µm. For multi-gate models, w is interpreted as a fin
+// count when FinWeff is set.
+func (p Params) EffWidth(w float64) float64 {
+	if p.FinWeff > 0 {
+		return w * p.FinWeff
+	}
+	return w
+}

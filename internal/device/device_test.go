@@ -1,0 +1,154 @@
+package device
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCutoffAndSaturation(t *testing.T) {
+	n := PTM45(NMOS)
+	if id := n.Ids(1.0, 0, 1.1); id > 1e-6 {
+		t.Errorf("cutoff current = %v mA, want ~0", id)
+	}
+	idSat := n.Ids(1.0, 1.1, 1.1)
+	if idSat <= 0 {
+		t.Fatal("saturation current should be positive")
+	}
+	idLin := n.Ids(1.0, 1.1, 0.05)
+	if idLin >= idSat {
+		t.Error("linear-region current should be below saturation")
+	}
+	// Zero Vds → zero current.
+	if id := n.Ids(1.0, 1.1, 0); id != 0 {
+		t.Errorf("Ids at vds=0 = %v, want 0", id)
+	}
+}
+
+func TestMonotonicity(t *testing.T) {
+	n := PTM45(NMOS)
+	f := func(a, b float64) bool {
+		vgs1 := math.Mod(math.Abs(a), 1.1)
+		vgs2 := math.Mod(math.Abs(b), 1.1)
+		if vgs1 > vgs2 {
+			vgs1, vgs2 = vgs2, vgs1
+		}
+		// More gate drive never reduces current.
+		return n.Ids(1, vgs2, 0.6) >= n.Ids(1, vgs1, 0.6)-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+	g := func(a, b float64) bool {
+		vds1 := math.Mod(math.Abs(a), 1.1)
+		vds2 := math.Mod(math.Abs(b), 1.1)
+		if vds1 > vds2 {
+			vds1, vds2 = vds2, vds1
+		}
+		// More drain bias never reduces current (CLM keeps slope positive).
+		return n.Ids(1, 0.9, vds2) >= n.Ids(1, 0.9, vds1)-1e-12
+	}
+	if err := quick.Check(g, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWidthLinearity(t *testing.T) {
+	n := PTM45(NMOS)
+	i1 := n.Ids(0.5, 1.0, 0.8)
+	i2 := n.Ids(1.0, 1.0, 0.8)
+	if math.Abs(i2-2*i1) > 1e-12 {
+		t.Errorf("current should scale linearly with width: %v vs 2×%v", i2, i1)
+	}
+}
+
+func TestDerivsMatchFiniteDifference(t *testing.T) {
+	n := PTM45(NMOS)
+	id, gm, gds := n.Derivs(1.0, 0.9, 0.4)
+	if id <= 0 || gm <= 0 || gds <= 0 {
+		t.Fatalf("Derivs = %v %v %v, want all positive in linear region", id, gm, gds)
+	}
+	const h = 1e-4
+	gmRef := (n.Ids(1, 0.9+h, 0.4) - n.Ids(1, 0.9-h, 0.4)) / (2 * h)
+	if math.Abs(gm-gmRef)/gmRef > 0.01 {
+		t.Errorf("gm = %v, finite diff %v", gm, gmRef)
+	}
+}
+
+func TestSubthresholdContinuity(t *testing.T) {
+	n := PTM45(NMOS)
+	// Current must be continuous and strictly increasing through Vt.
+	prev := 0.0
+	for vgs := 0.2; vgs <= 0.8; vgs += 0.01 {
+		id := n.Ids(1, vgs, 0.6)
+		if id < prev {
+			t.Fatalf("current non-monotonic at vgs=%.2f", vgs)
+		}
+		if vgs > 0.3 && id > 1e-9 && prev > 0 && id/math.Max(prev, 1e-30) > 10 {
+			t.Fatalf("current jumps by >10x at vgs=%.2f: %v -> %v", vgs, prev, id)
+		}
+		prev = id
+	}
+}
+
+func TestPMOSWeakerPerMicron45(t *testing.T) {
+	n, p := PTM45(NMOS), PTM45(PMOS)
+	in := n.Ids(1, 1.1, 1.1)
+	ip := p.Ids(1, 1.1, 1.1)
+	if ip >= in {
+		t.Error("45nm PMOS should be weaker per µm (hole mobility skew)")
+	}
+	// Nangate compensates with the ~1.5X wider PMOS of the INV cell.
+	if r := n.Ids(0.415, 1.1, 1.1) / p.Ids(0.63, 1.1, 1.1); r < 0.7 || r > 1.7 {
+		t.Errorf("sized P/N drive ratio = %v, want roughly balanced", r)
+	}
+}
+
+func TestFinFETQuantization(t *testing.T) {
+	n7 := PTMMG7(NMOS)
+	if n7.FinWeff != 0.043 {
+		t.Errorf("FinWeff = %v, want 0.043 (2·18nm+7nm)", n7.FinWeff)
+	}
+	if w := n7.EffWidth(2); math.Abs(w-0.086) > 1e-12 {
+		t.Errorf("EffWidth(2 fins) = %v", w)
+	}
+	// Planar width passes through unchanged.
+	if w := PTM45(NMOS).EffWidth(0.415); w != 0.415 {
+		t.Errorf("planar EffWidth = %v", w)
+	}
+}
+
+// ITRS trend (Table 10): 7nm devices are dramatically more efficient —
+// higher drive per µm at lower VDD.
+func TestNodeDriveTrend(t *testing.T) {
+	i45 := PTM45(NMOS).Ids(1, 1.1, 1.1) // per µm at VDD=1.1
+	i7 := PTMMG7(NMOS).Ids(1, 0.7, 0.7) // per µm Weff at VDD=0.7
+	if i7 <= i45 {
+		t.Errorf("7nm drive/µm (%v) should exceed 45nm (%v)", i7, i45)
+	}
+}
+
+func TestCapsAndLeakage(t *testing.T) {
+	n := PTM45(NMOS)
+	// The INV_X1 input cap target (Table 11: 0.463 fF) is gate caps plus the
+	// extracted pin-net wire cap; the gate part alone lands near 0.33 fF.
+	if c := n.GateCap(1.045); math.Abs(c-1.045*n.CgPerUm) > 1e-12 || c < 0.25 || c > 0.45 {
+		t.Errorf("gate cap of 1.045µm = %v fF, want ≈0.33", c)
+	}
+	if n.JunctionCap(1) <= 0 {
+		t.Error("junction cap must be positive")
+	}
+	// INV X1 leakage target (Table 11): ≈2.8 nW at 45nm.
+	p := PTM45(PMOS)
+	iAvg := (n.Leakage(0.415) + p.Leakage(0.63)) / 2 // mA
+	pw := iAvg * 1.1 * 1e9                           // mA·V = mW → pW ×1e9
+	if pw < 1000 || pw > 6000 {
+		t.Errorf("INV leakage = %.0f pW, want same order as 2844 pW", pw)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if NMOS.String() != "nmos" || PMOS.String() != "pmos" {
+		t.Error("Kind.String")
+	}
+}

@@ -1,0 +1,101 @@
+package drc
+
+import (
+	"testing"
+
+	"tmi3d/internal/cellgen"
+	"tmi3d/internal/geom"
+)
+
+// Every library cell layout, 2D and folded, must be DRC-clean under the
+// 45nm deck — this is the regression net under the procedural generator.
+func TestLibraryClean(t *testing.T) {
+	total := 0
+	for _, def := range cellgen.Library() {
+		d := def
+		for _, tmi := range []bool{false, true} {
+			var lay *cellgen.Layout
+			if tmi {
+				lay = cellgen.GenerateTMI(&d)
+			} else {
+				lay = cellgen.Generate2D(&d)
+			}
+			vs := Check(lay, Rules45)
+			total++
+			for _, v := range vs {
+				t.Errorf("%v (tmi=%v)", v, tmi)
+			}
+			if len(vs) > 0 {
+				return // one cell's detail is enough
+			}
+		}
+	}
+	if total != 132 {
+		t.Errorf("checked %d layouts, want 132", total)
+	}
+}
+
+func TestDetectsWidthViolation(t *testing.T) {
+	l := &cellgen.Layout{Cell: "BAD", Shapes: []geom.Shape{
+		{Layer: cellgen.LayerM1, R: geom.NewRect(0, 0, 0.02, 1), Net: "a"},
+	}}
+	vs := Check(l, Rules45)
+	if len(vs) != 1 || vs[0].Kind != "width" {
+		t.Fatalf("violations = %v", vs)
+	}
+	if vs[0].String() == "" {
+		t.Error("empty violation string")
+	}
+}
+
+func TestDetectsSpacingViolation(t *testing.T) {
+	// Poly keeps a true distance rule.
+	l := &cellgen.Layout{Cell: "BAD", Shapes: []geom.Shape{
+		{Layer: cellgen.LayerPoly, R: geom.NewRect(0, 0, 0.06, 1), Net: "a"},
+		{Layer: cellgen.LayerPoly, R: geom.NewRect(0.1, 0, 0.16, 1), Net: "b"},
+	}}
+	vs := Check(l, Rules45)
+	if len(vs) != 1 || vs[0].Kind != "spacing" {
+		t.Fatalf("violations = %v", vs)
+	}
+	// Same net → no violation.
+	l.Shapes[1].Net = "a"
+	if vs := Check(l, Rules45); len(vs) != 0 {
+		t.Fatalf("same-net spacing flagged: %v", vs)
+	}
+	// An overlap-only deck flags different nets sharing area.
+	overlapDeck := map[string]Rule{cellgen.LayerM1: {0.065, 0}}
+	m := &cellgen.Layout{Cell: "BAD", Shapes: []geom.Shape{
+		{Layer: cellgen.LayerM1, R: geom.NewRect(0, 0, 0.1, 1), Net: "a"},
+		{Layer: cellgen.LayerM1, R: geom.NewRect(0.05, 0.2, 0.15, 0.8), Net: "b"},
+	}}
+	vs = Check(m, overlapDeck)
+	if len(vs) != 1 || vs[0].Kind != "spacing" {
+		t.Fatalf("overlap violations = %v", vs)
+	}
+	// Touching (zero-area intersection) is allowed.
+	m.Shapes[1].R = geom.NewRect(0.1, 0, 0.2, 1)
+	if vs := Check(m, overlapDeck); len(vs) != 0 {
+		t.Fatalf("touching flagged: %v", vs)
+	}
+	// The library deck skips M1 spacing entirely (shared-diffusion abutment).
+	if Rules45[cellgen.LayerM1].MinSpacing >= 0 {
+		t.Error("library deck should skip M1 spacing")
+	}
+}
+
+func TestDetectsFloatingMIV(t *testing.T) {
+	l := &cellgen.Layout{Cell: "BAD", TMI: true, Shapes: []geom.Shape{
+		{Layer: cellgen.LayerMIV, R: geom.NewRect(0, 0, 0.07, 0.07), Net: "x"},
+	}}
+	vs := Check(l, Rules45)
+	found := false
+	for _, v := range vs {
+		if v.Kind == "miv-landing" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("floating MIV not caught: %v", vs)
+	}
+}

@@ -1,0 +1,408 @@
+// Package flow runs the paper's complete design and analysis pipeline
+// (Fig 1) for one (circuit, node, mode, clock) point: library selection,
+// synthesis under the mode's wire load model, placement, pre-route
+// optimization, global routing, RC extraction, post-route optimization with
+// power recovery, and sign-off timing/power analysis.
+//
+// Iso-performance comparison (Section 1) falls out of running the same
+// configuration in 2D and T-MI modes at the same target clock and comparing
+// the power reports.
+package flow
+
+import (
+	"fmt"
+	"sync"
+
+	"tmi3d/internal/captable"
+	"tmi3d/internal/circuits"
+	"tmi3d/internal/cts"
+	"tmi3d/internal/liberty"
+	"tmi3d/internal/netlist"
+	"tmi3d/internal/opt"
+	"tmi3d/internal/place"
+	"tmi3d/internal/power"
+	"tmi3d/internal/rcx"
+	"tmi3d/internal/route"
+	"tmi3d/internal/sta"
+	"tmi3d/internal/synth"
+	"tmi3d/internal/tech"
+	"tmi3d/internal/wlm"
+)
+
+// clockCalibration scales the paper's target clock periods per circuit and
+// node. Our characterized cells are slower than the commercial Nangate
+// library and the generated netlists are structurally deeper than their
+// synthesized counterparts (e.g. the composite-field AES S-box), so the
+// paper's absolute targets would be infeasible at any drive strength. The
+// factors are set so each calibrated target sits at ~75% of the relaxed
+// critical path — "tight but closable", the same timing pressure the paper
+// reports — and every iso-performance comparison uses the same calibrated
+// target for its 2D and T-MI runs, preserving all relative results.
+// Index 0 = 45nm, 1 = 7nm.
+var clockCalibration = map[string][2]float64{
+	"FPU":  {3.4, 3.4},
+	"AES":  {7.5, 10.9},
+	"LDPC": {1.6, 2.3},
+	"DES":  {2.7, 4.3},
+	"M256": {2.5, 3.0},
+}
+
+// ClockCalibrationFactor returns the clock scaling applied for a circuit at
+// a node (1.0 for unknown circuits).
+func ClockCalibrationFactor(circuit string, node tech.Node) float64 {
+	k, ok := clockCalibration[circuit]
+	if !ok {
+		return 1.0
+	}
+	if node == tech.N7 {
+		return k[1]
+	}
+	return k[0]
+}
+
+// Config selects one flow run.
+type Config struct {
+	Circuit string
+	Scale   float64
+	Node    tech.Node
+	Mode    tech.Mode
+	// ClockPs overrides the Table 12 target clock when non-zero.
+	ClockPs float64
+	// Util overrides the default placement utilization when non-zero.
+	Util float64
+	// PinCapScale scales library input pin capacitance (Table 8); 0 = 1.0.
+	PinCapScale float64
+	// ResistivityScale adjusts interconnect resistivity per layer class
+	// (Table 9).
+	ResistivityScale map[tech.LayerClass]float64
+	// Use2DWLM synthesizes a 3D design with the 2D wire load model — the
+	// "-n" rows of Table 15.
+	Use2DWLM bool
+	// Activities overrides the switching activity assertions (Fig 11).
+	Activities power.Activities
+	Seed       uint64
+}
+
+// Result is one completed flow run.
+type Result struct {
+	Config Config
+
+	Footprint  float64 // µm²
+	DieW, DieH float64
+	NumCells   int
+	NumBuffers int
+	Util       float64
+	CellArea   float64 // µm²
+
+	TotalWL   float64 // µm
+	WLByClass [route.NumClasses]float64
+	Overflow  int
+	AvgFanout float64
+	WNS       float64 // ps
+	ClockPs   float64
+	// ClockWL and ClockBuffers describe the synthesized clock tree.
+	ClockWL      float64
+	ClockBuffers int
+	Power        *power.Report
+	OptStats     *opt.Stats
+	SynthStats   netlist.Stats
+
+	// WLSamples maps fanout → routed net lengths (µm), the raw data of
+	// Fig 6 and the input to wlm.Measured.
+	WLSamples map[int][]float64
+
+	// Design and Placement expose the final implementation for artifact
+	// export (Verilog, DEF, snapshots) and further analysis.
+	Design    *netlist.Design
+	Placement *place.Placement
+}
+
+// circuit generation is deterministic and expensive at scale 1; cache it.
+var (
+	genMu    sync.Mutex
+	genCache = map[string]*netlist.Design{}
+)
+
+func generated(name string, scale float64) (*netlist.Design, error) {
+	key := fmt.Sprintf("%s@%.4f", name, scale)
+	genMu.Lock()
+	defer genMu.Unlock()
+	if d, ok := genCache[key]; ok {
+		return d, nil
+	}
+	d, err := circuits.Generate(name, scale)
+	if err != nil {
+		return nil, err
+	}
+	genCache[key] = d
+	return d, nil
+}
+
+// Run executes the full flow.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Scale == 0 {
+		cfg.Scale = 1.0
+	}
+	t := tech.New(cfg.Node, cfg.Mode)
+	lib, err := liberty.Default(cfg.Node, cfg.Mode)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.PinCapScale != 0 && cfg.PinCapScale != 1 {
+		lib = lib.ScalePinCap(cfg.PinCapScale)
+	}
+
+	src, err := generated(cfg.Circuit, cfg.Scale)
+	if err != nil {
+		return nil, err
+	}
+	d := src.Clone()
+	clock := cfg.ClockPs
+	if clock == 0 {
+		clock, err = circuits.TargetClockPs(cfg.Circuit, cfg.Node)
+		if err != nil {
+			return nil, err
+		}
+	}
+	clock *= ClockCalibrationFactor(cfg.Circuit, cfg.Node)
+	d.TargetClockPs = clock
+
+	// Wire load model: estimated die area from the generic netlist.
+	areaEst := estimateArea(d, lib)
+	util := cfg.Util
+	if util == 0 {
+		util = circuits.TargetUtilization(cfg.Circuit)
+	}
+	wlmMode := cfg.Mode
+	if cfg.Use2DWLM {
+		wlmMode = tech.Mode2D
+	}
+	model := wlm.BuildForMode(cfg.Node, wlmMode, areaEst/util)
+
+	sres, err := synth.Run(d, synth.Options{Lib: lib, WLM: model})
+	if err != nil {
+		return nil, fmt.Errorf("flow %s/%v/%v: synth: %w", cfg.Circuit, cfg.Node, cfg.Mode, err)
+	}
+	d = sres.Design
+
+	// Reserve headroom for optimization growth (buffers, upsizing) so the
+	// FINAL utilization lands near the target, as the paper's flow does
+	// (Section S6 reports post-optimization utilizations at the target).
+	placeUtil := util * 0.90
+	pl, err := place.Run(d, place.Options{Lib: lib, Tech: t, TargetUtil: placeUtil, Seed: cfg.Seed + 7})
+	if err != nil {
+		return nil, err
+	}
+
+	// Pre-route optimization on bounding-box parasitics.
+	tb := captable.Build(t, captable.Options{ResistivityScale: cfg.ResistivityScale})
+	estWire := hpwlWire(pl, tb)
+	areaBudget := pl.Die.Area() * 0.95
+	preStats, err := opt.Close(d, opt.Options{
+		Lib: lib, Wire: estWire, Placement: pl, MaxRounds: 8, AreaBudget: areaBudget,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Routing and extraction.
+	rt, err := route.Run(pl, route.Options{Tech: t})
+	if err != nil {
+		return nil, err
+	}
+	ex := rcx.Extract(rt, tb, t)
+
+	// Post-route optimization: extracted parasitics, power recovery on.
+	postSrc := extractedWire(ex, pl, tb)
+	postStats, err := opt.Close(d, opt.Options{
+		Lib: lib, Wire: postSrc.fn, Placement: pl, MaxRounds: 8, PowerRecovery: true,
+		NetChanged: postSrc.markDirty, AreaBudget: areaBudget,
+	})
+	if err != nil {
+		return nil, err
+	}
+	postStats.Upsized += preStats.Upsized
+	postStats.BuffersAdd += preStats.BuffersAdd
+	postStats.Downsized += preStats.Downsized
+
+	// Buffers moved nets around: final route + extraction + sign-off. If the
+	// re-routed parasitics uncover a residual violation, close once more on
+	// the final extraction (ECO-style) and re-route.
+	var timing *sta.Result
+	var finalWire func(int) sta.WireRC
+	for pass := 0; ; pass++ {
+		rt, err = route.Run(pl, route.Options{Tech: t})
+		if err != nil {
+			return nil, err
+		}
+		ex = rcx.Extract(rt, tb, t)
+		finalSrc := extractedWire(ex, pl, tb)
+		finalWire = finalSrc.fn
+		timing, err = sta.Analyze(d, sta.Env{Lib: lib, Wire: finalWire})
+		if err != nil {
+			return nil, err
+		}
+		if timing.Met() || pass >= 2 {
+			break
+		}
+		ecoStats, err := opt.Close(d, opt.Options{
+			Lib: lib, Wire: finalWire, Placement: pl, MaxRounds: 6, SkipDRV: true,
+			AreaBudget: areaBudget,
+		})
+		if err != nil {
+			return nil, err
+		}
+		postStats.Upsized += ecoStats.Upsized
+		postStats.BuffersAdd += ecoStats.BuffersAdd
+	}
+	pow, err := power.Analyze(d, power.Env{
+		Lib: lib, Wire: finalWire, Activities: cfg.Activities, Timing: timing,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Clock distribution: an ideal-skew buffered tree over the DFFs. Its
+	// wire capacitance and buffer energy are charged at two transitions per
+	// cycle; the tree shrinks with the T-MI footprint like signal wiring.
+	clk := cts.Build(pl, 0)
+	_, cInt, _ := tb.ClassAverage(tech.ClassIntermediate)
+	clkCap := clk.Wirelength * cInt
+	pow.Wire += clkCap * lib.VDD * lib.VDD / clock
+	pow.WireCap += clkCap / 1000
+	if buf := lib.Cell("CLKBUF_X4"); buf != nil && len(buf.Arcs) > 0 {
+		e := buf.Arcs[0].Energy.At(20, 10)
+		pow.Cell += float64(clk.NumBuffers) * e * 2 / clock
+		pow.Leakage += float64(clk.NumBuffers) * buf.Leakage
+	}
+	pow.Net = pow.Wire + pow.Pin
+	pow.Total = pow.Cell + pow.Net + pow.Leakage
+
+	res := &Result{
+		Config:     cfg,
+		Design:     d,
+		Placement:  pl,
+		Footprint:  pl.Die.Area(),
+		DieW:       pl.Die.W(),
+		DieH:       pl.Die.H(),
+		NumCells:   len(d.Instances),
+		Util:       placedUtil(d, lib, pl),
+		TotalWL:    rt.TotalLen,
+		WLByClass:  rt.LenByClass,
+		Overflow:   rt.Overflow,
+		WNS:        timing.WNS,
+		ClockPs:    clock,
+		Power:      pow,
+		OptStats:   postStats,
+		SynthStats: sres.Stats,
+		WLSamples:  map[int][]float64{},
+	}
+	res.TotalWL += clk.Wirelength
+	res.WLByClass[tech.ClassIntermediate] += clk.Wirelength // clock routes on 2x layers
+	res.ClockWL = clk.Wirelength
+	res.ClockBuffers = clk.NumBuffers
+	st := d.Stats()
+	res.NumBuffers = st.NumBuffers + clk.NumBuffers
+	res.AvgFanout = st.AverageFanout
+	for i := range d.Instances {
+		res.CellArea += lib.MustCell(d.Instances[i].CellName).Area
+	}
+	for ni := range d.Nets {
+		if ni == d.ClockNet {
+			continue
+		}
+		f := d.Nets[ni].Fanout()
+		if f > 32 {
+			f = 32
+		}
+		res.WLSamples[f] = append(res.WLSamples[f], rt.Routes[ni].Len)
+	}
+	return res, nil
+}
+
+// estimateArea sums X1-mapped cell areas of the generic netlist.
+func estimateArea(d *netlist.Design, lib *liberty.Library) float64 {
+	area := 0.0
+	for i := range d.Instances {
+		if c := lib.Cell(d.Instances[i].Func + "_X1"); c != nil {
+			area += c.Area
+		}
+	}
+	return area
+}
+
+func placedUtil(d *netlist.Design, lib *liberty.Library, pl *place.Placement) float64 {
+	area := 0.0
+	for i := range d.Instances {
+		area += lib.MustCell(d.Instances[i].CellName).Area
+	}
+	return area / pl.Die.Area()
+}
+
+// hpwlWire estimates net parasitics from placement bounding boxes using the
+// statistical local/intermediate unit mix.
+func hpwlWire(pl *place.Placement, tb *captable.Table) func(int) sta.WireRC {
+	rl, cl, _ := tb.ClassAverage(tech.ClassLocal)
+	ri, ci, _ := tb.ClassAverage(tech.ClassIntermediate)
+	ur := 0.7*rl + 0.3*ri
+	uc := 0.7*cl + 0.3*ci
+	return func(ni int) sta.WireRC {
+		l := pl.NetHPWL(ni)
+		return sta.WireRC{R: ur * l, C: uc * l}
+	}
+}
+
+// extractedWire serves extracted parasitics, falling back to bounding-box
+// estimates for nets created after extraction (optimizer buffers) and for
+// nets the optimizer has since modified (their extraction is stale — the
+// moved sinks changed the net's geometry).
+type wireSource struct {
+	fn    func(int) sta.WireRC
+	dirty map[int]bool
+}
+
+func (ws *wireSource) markDirty(ni int) { ws.dirty[ni] = true }
+
+func extractedWire(ex *rcx.Extraction, pl *place.Placement, tb *captable.Table) *wireSource {
+	est := hpwlWire(pl, tb)
+	ws := &wireSource{dirty: map[int]bool{}}
+	ws.fn = func(ni int) sta.WireRC {
+		if ni < len(ex.Nets) && !ws.dirty[ni] {
+			rc := ex.Nets[ni]
+			return sta.WireRC{R: rc.R, C: rc.C}
+		}
+		return est(ni)
+	}
+	return ws
+}
+
+// Compare is the iso-performance 2D-vs-3D comparison of two results; values
+// are percentage differences of b over a (negative = reduction).
+type Compare struct {
+	Footprint float64
+	WL        float64
+	Total     float64
+	Cell      float64
+	Net       float64
+	Leakage   float64
+	Buffers   float64
+}
+
+// Diff computes percentage deltas of b versus a.
+func Diff(a, b *Result) Compare {
+	pct := func(x, y float64) float64 {
+		if x == 0 {
+			return 0
+		}
+		return (y - x) / x * 100
+	}
+	return Compare{
+		Footprint: pct(a.Footprint, b.Footprint),
+		WL:        pct(a.TotalWL, b.TotalWL),
+		Total:     pct(a.Power.Total, b.Power.Total),
+		Cell:      pct(a.Power.Cell, b.Power.Cell),
+		Net:       pct(a.Power.Net, b.Power.Net),
+		Leakage:   pct(a.Power.Leakage, b.Power.Leakage),
+		Buffers:   pct(float64(a.NumBuffers), float64(b.NumBuffers)),
+	}
+}

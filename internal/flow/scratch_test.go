@@ -1,0 +1,28 @@
+package flow
+
+import (
+	"testing"
+	"time"
+	"tmi3d/internal/circuits"
+	"tmi3d/internal/tech"
+)
+
+func TestScratchFlow(t *testing.T) {
+	for _, name := range circuits.Names {
+		var rs [2]*Result
+		for i, mode := range []tech.Mode{tech.Mode2D, tech.ModeTMI} {
+			t0 := time.Now()
+			r, err := Run(Config{Circuit: name, Scale: 0.3, Node: tech.N45, Mode: mode})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rs[i] = r
+			t.Logf("%-5s %-4v: %6d cells (%5d buf) die=%4.0fx%4.0f wl=%.3fm wns=%5.0f P=%7.2fmW (cell %6.2f net %6.2f wire %5.2f pin %5.2f) %v",
+				name, mode, r.NumCells, r.NumBuffers, r.DieW, r.DieH, r.TotalWL/1e6, r.WNS,
+				r.Power.Total, r.Power.Cell, r.Power.Net, r.Power.Wire, r.Power.Pin, time.Since(t0).Round(time.Millisecond))
+		}
+		d := Diff(rs[0], rs[1])
+		t.Logf("%-5s DIFF: footprint %+.1f%% wl %+.1f%% power %+.1f%% (cell %+.1f%% net %+.1f%%) buf %+.1f%%",
+			name, d.Footprint, d.WL, d.Total, d.Cell, d.Net, d.Buffers)
+	}
+}

@@ -1,0 +1,52 @@
+package gds
+
+import (
+	"io"
+
+	"tmi3d/internal/cellgen"
+)
+
+// Layer numbers for cell-layout export, loosely following common PDK
+// numbering; the bottom-tier layers of folded cells get +100.
+var cellLayerNumbers = map[string]int{
+	cellgen.LayerDiff:  1,
+	cellgen.LayerPoly:  9,
+	cellgen.LayerCT:    10,
+	cellgen.LayerM1:    11,
+	cellgen.LayerDiffB: 101,
+	cellgen.LayerPolyB: 109,
+	cellgen.LayerCTB:   110,
+	cellgen.LayerMB1:   111,
+	cellgen.LayerMIV:   150,
+	cellgen.LayerMIVD:  151,
+}
+
+// FromLayout converts a cell layout to a GDSII structure.
+func FromLayout(l *cellgen.Layout) Struct {
+	st := Struct{Name: l.Cell}
+	for _, s := range l.Shapes {
+		num, ok := cellLayerNumbers[s.Layer]
+		if !ok {
+			continue
+		}
+		st.Elements = append(st.Elements, Element{Layer: num, Rect: s.R})
+	}
+	return st
+}
+
+// WriteCellLibrary streams the full standard-cell library (2D or folded
+// T-MI, selected by tmi) as one GDSII library — Fig 5's artifact.
+func WriteCellLibrary(w io.Writer, libName string, tmi bool) error {
+	lib := &Library{Name: libName}
+	for _, def := range cellgen.Library() {
+		d := def
+		var lay *cellgen.Layout
+		if tmi {
+			lay = cellgen.GenerateTMI(&d)
+		} else {
+			lay = cellgen.Generate2D(&d)
+		}
+		lib.Structs = append(lib.Structs, FromLayout(lay))
+	}
+	return lib.Write(w)
+}

@@ -1,0 +1,252 @@
+// Package gds writes (and reads back) GDSII stream files — the sign-off
+// layout format the paper's flow produces ("timing-closed, full-chip GDSII
+// layouts"). The writer covers the subset needed for standard-cell layouts:
+// one library, named structures, and BOUNDARY elements with layer numbers;
+// the reader parses exactly that subset for round-trip verification.
+package gds
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"tmi3d/internal/geom"
+)
+
+// GDSII record types used here.
+const (
+	recHeader   = 0x0002
+	recBgnLib   = 0x0102
+	recLibName  = 0x0206
+	recUnits    = 0x0305
+	recEndLib   = 0x0400
+	recBgnStr   = 0x0502
+	recStrName  = 0x0606
+	recEndStr   = 0x0700
+	recBoundary = 0x0800
+	recLayer    = 0x0D02
+	recDatatype = 0x0E02
+	recXY       = 0x1003
+	recEndEl    = 0x1100
+)
+
+// Element is one polygon (here: rectangle) on a numbered layer.
+type Element struct {
+	Layer int
+	Rect  geom.Rect
+}
+
+// Struct is a named GDSII structure (a cell).
+type Struct struct {
+	Name     string
+	Elements []Element
+}
+
+// Library is a GDSII library.
+type Library struct {
+	Name    string
+	Structs []Struct
+	// UserUnit is the database unit in meters (default 1nm).
+	UserUnit float64
+}
+
+// dbuPerUm converts µm coordinates to database units (1 dbu = 1 nm).
+const dbuPerUm = 1000
+
+// Write emits the library as a binary GDSII stream.
+func (l *Library) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	rec := func(rt int, data []byte) {
+		binary.Write(bw, binary.BigEndian, uint16(len(data)+4))
+		binary.Write(bw, binary.BigEndian, uint16(rt))
+		bw.Write(data)
+	}
+	i16 := func(vs ...int) []byte {
+		b := make([]byte, 2*len(vs))
+		for i, v := range vs {
+			binary.BigEndian.PutUint16(b[2*i:], uint16(int16(v)))
+		}
+		return b
+	}
+	i32 := func(vs ...int32) []byte {
+		b := make([]byte, 4*len(vs))
+		for i, v := range vs {
+			binary.BigEndian.PutUint32(b[4*i:], uint32(v))
+		}
+		return b
+	}
+	str := func(s string) []byte {
+		if len(s)%2 == 1 {
+			s += "\x00"
+		}
+		return []byte(s)
+	}
+	timestamp := i16(2026, 1, 1, 0, 0, 0)
+
+	rec(recHeader, i16(600)) // GDSII version 6
+	rec(recBgnLib, append(append([]byte{}, timestamp...), timestamp...))
+	rec(recLibName, str(l.Name))
+	uu := l.UserUnit
+	if uu == 0 {
+		uu = 1e-9
+	}
+	// UNITS: user units per database unit (0.001 µm/dbu), then the database
+	// unit in meters.
+	rec(recUnits, append(real8(1e-3), real8(uu)...))
+
+	for _, st := range l.Structs {
+		rec(recBgnStr, append(append([]byte{}, timestamp...), timestamp...))
+		rec(recStrName, str(st.Name))
+		for _, el := range st.Elements {
+			rec(recBoundary, nil)
+			rec(recLayer, i16(el.Layer))
+			rec(recDatatype, i16(0))
+			x0 := int32(math.Round(el.Rect.Lo.X * dbuPerUm))
+			y0 := int32(math.Round(el.Rect.Lo.Y * dbuPerUm))
+			x1 := int32(math.Round(el.Rect.Hi.X * dbuPerUm))
+			y1 := int32(math.Round(el.Rect.Hi.Y * dbuPerUm))
+			rec(recXY, i32(x0, y0, x1, y0, x1, y1, x0, y1, x0, y0))
+			rec(recEndEl, nil)
+		}
+		rec(recEndStr, nil)
+	}
+	rec(recEndLib, nil)
+	return bw.Flush()
+}
+
+// real8 encodes an IEEE float as a GDSII 8-byte excess-64 real.
+func real8(v float64) []byte {
+	b := make([]byte, 8)
+	if v == 0 {
+		return b
+	}
+	sign := byte(0)
+	if v < 0 {
+		sign = 0x80
+		v = -v
+	}
+	exp := 0
+	for v >= 1 {
+		v /= 16
+		exp++
+	}
+	for v < 1.0/16 {
+		v *= 16
+		exp--
+	}
+	// v ∈ [1/16, 1): mantissa is v × 2^56.
+	mant := uint64(v * math.Pow(2, 56))
+	b[0] = sign | byte(exp+64)
+	for i := 6; i >= 0; i-- {
+		b[1+6-i] = byte(mant >> uint(8*i))
+	}
+	return b
+}
+
+// parseReal8 decodes a GDSII 8-byte real.
+func parseReal8(b []byte) float64 {
+	if len(b) < 8 {
+		return 0
+	}
+	sign := 1.0
+	if b[0]&0x80 != 0 {
+		sign = -1
+	}
+	exp := int(b[0]&0x7F) - 64
+	var mant uint64
+	for i := 0; i < 7; i++ {
+		mant = mant<<8 | uint64(b[1+i])
+	}
+	return sign * float64(mant) / math.Pow(2, 56) * math.Pow(16, float64(exp))
+}
+
+// Read parses a GDSII stream written by Write.
+func Read(r io.Reader) (*Library, error) {
+	br := bufio.NewReader(r)
+	lib := &Library{}
+	var cur *Struct
+	var pendingLayer int
+	inBoundary := false
+	for {
+		var hdr [4]byte
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			if err == io.EOF {
+				return nil, fmt.Errorf("gds: missing ENDLIB")
+			}
+			return nil, err
+		}
+		size := int(binary.BigEndian.Uint16(hdr[:2]))
+		rt := int(binary.BigEndian.Uint16(hdr[2:]))
+		if size < 4 {
+			return nil, fmt.Errorf("gds: bad record size %d", size)
+		}
+		data := make([]byte, size-4)
+		if _, err := io.ReadFull(br, data); err != nil {
+			return nil, err
+		}
+		switch rt {
+		case recLibName:
+			lib.Name = trimName(data)
+		case recUnits:
+			if len(data) >= 16 {
+				lib.UserUnit = parseReal8(data[8:])
+			}
+		case recBgnStr:
+			lib.Structs = append(lib.Structs, Struct{})
+			cur = &lib.Structs[len(lib.Structs)-1]
+		case recStrName:
+			if cur != nil {
+				cur.Name = trimName(data)
+			}
+		case recBoundary:
+			inBoundary = true
+		case recLayer:
+			if len(data) >= 2 {
+				pendingLayer = int(int16(binary.BigEndian.Uint16(data)))
+			}
+		case recXY:
+			if inBoundary && cur != nil && len(data) >= 32 {
+				xs := make([]int32, len(data)/4)
+				for i := range xs {
+					xs[i] = int32(binary.BigEndian.Uint32(data[4*i:]))
+				}
+				// Boundary rectangle: take the bbox of the points.
+				minX, minY := xs[0], xs[1]
+				maxX, maxY := xs[0], xs[1]
+				for i := 0; i+1 < len(xs); i += 2 {
+					if xs[i] < minX {
+						minX = xs[i]
+					}
+					if xs[i] > maxX {
+						maxX = xs[i]
+					}
+					if xs[i+1] < minY {
+						minY = xs[i+1]
+					}
+					if xs[i+1] > maxY {
+						maxY = xs[i+1]
+					}
+				}
+				cur.Elements = append(cur.Elements, Element{
+					Layer: pendingLayer,
+					Rect: geom.NewRect(
+						float64(minX)/dbuPerUm, float64(minY)/dbuPerUm,
+						float64(maxX)/dbuPerUm, float64(maxY)/dbuPerUm),
+				})
+			}
+		case recEndEl:
+			inBoundary = false
+		case recEndLib:
+			return lib, nil
+		}
+	}
+}
+
+func trimName(b []byte) string {
+	for len(b) > 0 && b[len(b)-1] == 0 {
+		b = b[:len(b)-1]
+	}
+	return string(b)
+}

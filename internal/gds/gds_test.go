@@ -1,0 +1,136 @@
+package gds
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"tmi3d/internal/cellgen"
+	"tmi3d/internal/geom"
+)
+
+func TestRoundTrip(t *testing.T) {
+	lib := &Library{
+		Name: "testlib",
+		Structs: []Struct{
+			{Name: "CELL_A", Elements: []Element{
+				{Layer: 9, Rect: geom.NewRect(0, 0, 0.38, 1.4)},
+				{Layer: 11, Rect: geom.NewRect(0.1, 0.2, 0.17, 0.95)},
+			}},
+			{Name: "CELL_B", Elements: []Element{
+				{Layer: 150, Rect: geom.NewRect(-0.035, 0.5, 0.035, 0.57)},
+			}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := lib.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != "testlib" {
+		t.Errorf("lib name %q", back.Name)
+	}
+	if len(back.Structs) != 2 {
+		t.Fatalf("%d structs", len(back.Structs))
+	}
+	for si, st := range lib.Structs {
+		got := back.Structs[si]
+		if got.Name != st.Name {
+			t.Errorf("struct %d name %q != %q", si, got.Name, st.Name)
+		}
+		if len(got.Elements) != len(st.Elements) {
+			t.Fatalf("struct %s: %d elements", st.Name, len(got.Elements))
+		}
+		for ei, el := range st.Elements {
+			g := got.Elements[ei]
+			if g.Layer != el.Layer {
+				t.Errorf("layer %d != %d", g.Layer, el.Layer)
+			}
+			if math.Abs(g.Rect.Lo.X-el.Rect.Lo.X) > 1e-3 ||
+				math.Abs(g.Rect.Hi.Y-el.Rect.Hi.Y) > 1e-3 {
+				t.Errorf("rect %v != %v", g.Rect, el.Rect)
+			}
+		}
+	}
+	if math.Abs(back.UserUnit-1e-9)/1e-9 > 1e-9 {
+		t.Errorf("database unit %v, want 1nm", back.UserUnit)
+	}
+}
+
+// Property: the excess-64 real codec round-trips across magnitudes.
+func TestReal8RoundTrip(t *testing.T) {
+	f := func(m float64, e int8) bool {
+		if math.IsNaN(m) || math.IsInf(m, 0) {
+			return true
+		}
+		v := math.Mod(m, 1000) * math.Pow(10, float64(e%12))
+		got := parseReal8(real8(v))
+		if v == 0 {
+			return got == 0
+		}
+		return math.Abs(got-v)/math.Abs(v) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+	for _, v := range []float64{0, 1e-9, 1e-3, 1, -2.5, 1e12, -1e-12} {
+		got := parseReal8(real8(v))
+		if v == 0 && got != 0 {
+			t.Errorf("real8(0) → %v", got)
+		} else if v != 0 && math.Abs(got-v)/math.Abs(v) > 1e-12 {
+			t.Errorf("real8(%v) → %v", v, got)
+		}
+	}
+}
+
+func TestFromLayout(t *testing.T) {
+	def, _ := cellgen.Template("INV")
+	l3 := cellgen.GenerateTMI(&def)
+	st := FromLayout(l3)
+	if st.Name != "INV_X1" {
+		t.Errorf("struct name %q", st.Name)
+	}
+	layers := map[int]bool{}
+	for _, el := range st.Elements {
+		layers[el.Layer] = true
+	}
+	// Folded cell: both tiers plus an MIV layer must be present.
+	for _, want := range []int{9, 109, 11, 111} {
+		if !layers[want] {
+			t.Errorf("layer %d missing from folded INV", want)
+		}
+	}
+	if !layers[150] && !layers[151] {
+		t.Error("no MIV layer in folded INV")
+	}
+}
+
+func TestWriteCellLibrary(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCellLibrary(&buf, "tmi45", true); err != nil {
+		t.Fatal(err)
+	}
+	lib, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lib.Structs) != 66 {
+		t.Errorf("%d cells in GDS library, want 66", len(lib.Structs))
+	}
+	if buf.Len() != 0 {
+		t.Error("reader left trailing bytes")
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte{0, 1, 2})); err == nil {
+		t.Error("truncated stream should error")
+	}
+	if _, err := Read(bytes.NewReader(make([]byte, 64))); err == nil {
+		t.Error("zero stream should error")
+	}
+}

@@ -1,0 +1,21 @@
+package geom_test
+
+import (
+	"fmt"
+
+	"tmi3d/internal/geom"
+)
+
+func ExampleHPWL() {
+	pins := []geom.Point{{X: 0, Y: 0}, {X: 30, Y: 10}, {X: 12, Y: 25}}
+	fmt.Printf("%.0f µm\n", geom.HPWL(pins))
+	// Output: 55 µm
+}
+
+func ExampleRect_Intersection() {
+	a := geom.NewRect(0, 0, 4, 4)
+	b := geom.NewRect(2, 1, 6, 3)
+	ov, ok := a.Intersection(b)
+	fmt.Println(ok, ov.W(), ov.H())
+	// Output: true 2 2
+}

@@ -1,0 +1,67 @@
+package liberty
+
+import (
+	"fmt"
+	"sync"
+
+	"tmi3d/internal/tech"
+)
+
+// The characterized libraries are deterministic for a (node, mode) pair, so
+// they are built once per process and shared — SPICE characterization of the
+// whole library takes a few seconds.
+var (
+	cacheMu sync.Mutex
+	cache   = map[[2]int]*Library{}
+)
+
+// Default returns the shared characterized library for a node and design
+// mode. ModeTMIM designs use the T-MI cell library (the modified metal stack
+// only changes routing, not the cells).
+func Default(node tech.Node, mode tech.Mode) (*Library, error) {
+	if mode == tech.ModeTMIM {
+		mode = tech.ModeTMI
+	}
+	key := [2]int{int(node), int(mode)}
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	if lib, ok := cache[key]; ok {
+		return lib, nil
+	}
+	lib45, err := buildLocked([2]int{int(tech.N45), int(mode)}, mode)
+	if err != nil {
+		return nil, err
+	}
+	if node == tech.N45 {
+		return lib45, nil
+	}
+	lib7 := Derive7(lib45, PaperScale7)
+	cache[key] = lib7
+	return lib7, nil
+}
+
+func buildLocked(key [2]int, mode tech.Mode) (*Library, error) {
+	if lib, ok := cache[key]; ok {
+		return lib, nil
+	}
+	if lib := loadEmbedded(mode); lib != nil {
+		cache[key] = lib
+		return lib, nil
+	}
+	lib, err := Characterize45(mode, CharOptions{})
+	if err != nil {
+		return nil, fmt.Errorf("liberty: %w", err)
+	}
+	cache[key] = lib
+	return lib, nil
+}
+
+// MustDefault is Default for contexts where characterization cannot fail
+// (it is deterministic; failure indicates a programming error).
+func MustDefault(node tech.Node, mode tech.Mode) *Library {
+	lib, err := Default(node, mode)
+	if err != nil {
+		panic(err)
+	}
+	return lib
+}

@@ -1,0 +1,163 @@
+package liberty
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WriteLib emits the characterized library in Liberty (.lib) text format —
+// the artifact a commercial synthesis or sign-off tool would consume, and
+// the format the paper's own characterized libraries take. The NLDM tables
+// are written as lu_table templates with index_1 = input slew (ns) and
+// index_2 = load (pF); delays in ns, energies in the usual internal-power
+// convention (nW·ns ≡ fJ, reported per transition).
+func (lib *Library) WriteLib(w io.Writer, name string) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "library (%s) {\n", name)
+	fmt.Fprintf(bw, "  delay_model : table_lookup;\n")
+	fmt.Fprintf(bw, "  time_unit : \"1ns\";\n  voltage_unit : \"1V\";\n")
+	fmt.Fprintf(bw, "  capacitive_load_unit (1, pf);\n")
+	fmt.Fprintf(bw, "  nom_voltage : %.2f;\n\n", lib.VDD)
+
+	// Collect the distinct table templates in use.
+	type tmpl struct {
+		slews, loads []float64
+	}
+	templates := map[string]tmpl{}
+	tmplName := func(l *LUT) string {
+		key := fmt.Sprintf("tmpl_%dx%d_%x", len(l.Slews), len(l.Loads), hashAxes(l))
+		templates[key] = tmpl{l.Slews, l.Loads}
+		return key
+	}
+	names := make([]string, 0, len(lib.Cells))
+	for n := range lib.Cells {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	// First pass registers templates.
+	for _, n := range names {
+		for _, a := range lib.Cells[n].Arcs {
+			tmplName(a.Delay)
+		}
+	}
+	tnames := make([]string, 0, len(templates))
+	for k := range templates {
+		tnames = append(tnames, k)
+	}
+	sort.Strings(tnames)
+	for _, k := range tnames {
+		t := templates[k]
+		fmt.Fprintf(bw, "  lu_table_template (%s) {\n", k)
+		fmt.Fprintf(bw, "    variable_1 : input_net_transition;\n    variable_2 : total_output_net_capacitance;\n")
+		fmt.Fprintf(bw, "    index_1 (\"%s\");\n", axisNS(t.slews))
+		fmt.Fprintf(bw, "    index_2 (\"%s\");\n  }\n", axisPF(t.loads))
+	}
+	bw.WriteByte('\n')
+
+	for _, n := range names {
+		c := lib.Cells[n]
+		fmt.Fprintf(bw, "  cell (%s) {\n", c.Name)
+		fmt.Fprintf(bw, "    area : %.4f;\n", c.Area)
+		fmt.Fprintf(bw, "    cell_leakage_power : %.6g;\n", c.Leakage*1e6) // mW → nW
+		if c.Seq {
+			fmt.Fprintf(bw, "    ff (IQ, IQN) { clocked_on : \"%s\"; next_state : \"%s\"; }\n", c.Clock, c.Data)
+		}
+		ins := append([]string{}, c.Inputs...)
+		sort.Strings(ins)
+		for _, pin := range ins {
+			fmt.Fprintf(bw, "    pin (%s) {\n      direction : input;\n      capacitance : %.6f;\n", pin, c.PinCap[pin]/1000)
+			if c.Seq && pin == c.Clock {
+				fmt.Fprintf(bw, "      clock : true;\n")
+			}
+			fmt.Fprintf(bw, "    }\n")
+		}
+		outs := append([]string{}, c.Outputs...)
+		sort.Strings(outs)
+		for _, pin := range outs {
+			fmt.Fprintf(bw, "    pin (%s) {\n      direction : output;\n      max_capacitance : %.6f;\n", pin, c.MaxCap()/1000)
+			for ai := range c.Arcs {
+				a := &c.Arcs[ai]
+				if a.To != pin {
+					continue
+				}
+				sense := "positive_unate"
+				if a.Negated {
+					sense = "negative_unate"
+				}
+				fmt.Fprintf(bw, "      timing () {\n        related_pin : \"%s\";\n        timing_sense : %s;\n", a.From, sense)
+				if c.Seq && a.From == c.Clock {
+					fmt.Fprintf(bw, "        timing_type : rising_edge;\n")
+				}
+				writeLUT(bw, "cell_rise", a.Delay, tmplName(a.Delay), 1e-3)
+				writeLUT(bw, "rise_transition", a.OutSlew, tmplName(a.OutSlew), 1e-3)
+				fmt.Fprintf(bw, "      }\n")
+				fmt.Fprintf(bw, "      internal_power () {\n        related_pin : \"%s\";\n", a.From)
+				writeLUT(bw, "rise_power", a.Energy, tmplName(a.Energy), 1)
+				fmt.Fprintf(bw, "      }\n")
+			}
+			fmt.Fprintf(bw, "    }\n")
+		}
+		if c.Seq {
+			fmt.Fprintf(bw, "    /* setup %.1f ps, hold %.1f ps (characterized) */\n", c.Setup, c.Hold)
+		}
+		fmt.Fprintf(bw, "  }\n")
+	}
+	fmt.Fprintf(bw, "}\n")
+	return bw.Flush()
+}
+
+func writeLUT(bw *bufio.Writer, kind string, l *LUT, tmpl string, valScale float64) {
+	fmt.Fprintf(bw, "        %s (%s) {\n", kind, tmpl)
+	fmt.Fprintf(bw, "          index_1 (\"%s\");\n", axisNS(l.Slews))
+	fmt.Fprintf(bw, "          index_2 (\"%s\");\n", axisPF(l.Loads))
+	fmt.Fprintf(bw, "          values ( \\\n")
+	for i, row := range l.V {
+		vals := make([]string, len(row))
+		for j, v := range row {
+			vals[j] = fmt.Sprintf("%.6g", v*valScale)
+		}
+		sep := ", \\"
+		if i == len(l.V)-1 {
+			sep = " \\"
+		}
+		fmt.Fprintf(bw, "            \"%s\"%s\n", strings.Join(vals, ", "), sep)
+	}
+	fmt.Fprintf(bw, "          );\n        }\n")
+}
+
+func axisNS(xs []float64) string {
+	out := make([]string, len(xs))
+	for i, x := range xs {
+		out[i] = fmt.Sprintf("%.6g", x*1e-3) // ps → ns
+	}
+	return strings.Join(out, ", ")
+}
+
+func axisPF(xs []float64) string {
+	out := make([]string, len(xs))
+	for i, x := range xs {
+		out[i] = fmt.Sprintf("%.6g", x*1e-3) // fF → pF
+	}
+	return strings.Join(out, ", ")
+}
+
+func hashAxes(l *LUT) uint32 {
+	h := uint32(2166136261)
+	mix := func(v float64) {
+		bits := uint64(v * 1e6)
+		for i := 0; i < 8; i++ {
+			h ^= uint32(bits >> (8 * i) & 0xFF)
+			h *= 16777619
+		}
+	}
+	for _, v := range l.Slews {
+		mix(v)
+	}
+	for _, v := range l.Loads {
+		mix(v)
+	}
+	return h
+}

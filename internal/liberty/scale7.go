@@ -1,0 +1,154 @@
+package liberty
+
+import (
+	"fmt"
+
+	"tmi3d/internal/cellgen"
+	"tmi3d/internal/extract"
+	"tmi3d/internal/tech"
+)
+
+// Scale7Factors are the 45nm→7nm library scaling factors of Section 5 /
+// Section S3: per-cell ratios measured from SPICE characterization of the
+// 7nm netlists (PTM-MG devices, R×7.7, C×0.156), averaged over the library.
+type Scale7Factors struct {
+	InputCap float64 // cell input capacitance
+	Delay    float64 // cell delay
+	OutSlew  float64 // output slew
+	Energy   float64 // cell internal (dynamic) power
+	Leakage  float64 // cell leakage power
+	Geometry float64 // linear dimensions
+}
+
+// PaperScale7 holds the factors the paper reports in Section 5.
+var PaperScale7 = Scale7Factors{
+	InputCap: 0.179,
+	Delay:    0.471,
+	OutSlew:  0.420,
+	Energy:   0.084,
+	Leakage:  0.678,
+	Geometry: 7.0 / 45.0,
+}
+
+// Derive7 builds the 7nm library from a characterized 45nm library by
+// applying the scaling factors, exactly as the paper constructs its 7nm
+// Liberty (Section 5: "We apply these scaling factors to the 45nm Liberty
+// library and create our 7nm Liberty library").
+func Derive7(lib45 *Library, f Scale7Factors) *Library {
+	g2 := f.Geometry * f.Geometry
+	out := &Library{Node: tech.N7, Mode: lib45.Mode, VDD: 0.7, Cells: map[string]*Cell{}}
+	for name, c := range lib45.Cells {
+		cc := &Cell{
+			Name:     c.Name,
+			Base:     c.Base,
+			Strength: c.Strength,
+			Area:     c.Area * g2,
+			Width:    c.Width * f.Geometry,
+			Inputs:   c.Inputs,
+			Outputs:  c.Outputs,
+			PinCap:   map[string]float64{},
+			Leakage:  c.Leakage * f.Leakage,
+			Seq:      c.Seq,
+			Clock:    c.Clock,
+			Data:     c.Data,
+			Setup:    c.Setup * f.Delay,
+			Hold:     c.Hold * f.Delay,
+			NumMIV:   c.NumMIV,
+			Def:      c.Def,
+		}
+		for p, v := range c.PinCap {
+			cc.PinCap[p] = v * f.InputCap
+		}
+		for _, a := range c.Arcs {
+			cc.Arcs = append(cc.Arcs, TimingArc{
+				From: a.From, To: a.To, Negated: a.Negated,
+				// Axes shrink with the node (slews by the slew factor, loads
+				// by the cap factor) and values by their own factors.
+				Delay:   a.Delay.scale(f.InputCap, f.Delay, f.OutSlew),
+				OutSlew: a.OutSlew.scale(f.InputCap, f.OutSlew, f.OutSlew),
+				Energy:  a.Energy.scale(f.InputCap, f.Energy, f.OutSlew),
+			})
+		}
+		out.Cells[name] = cc
+	}
+	out.index()
+	return out
+}
+
+// Table11Row is one row of the 7nm cell characterization table (Section S3,
+// Table 11): 45nm vs 7nm at input slew 19 ps (45nm) and load 3.2 fF.
+type Table11Row struct {
+	Cell        string
+	InputCap45  float64 // fF
+	InputCap7   float64
+	Delay45     float64 // ps
+	Delay7      float64
+	OutSlew45   float64 // ps
+	OutSlew7    float64
+	CellPower45 float64 // fJ
+	CellPower7  float64
+	Leakage45   float64 // pW
+	Leakage7    float64
+}
+
+// Characterize7Reference simulates the 7nm netlists of the Table 11 cells
+// (INV, NAND2, DFF) and returns the comparison rows plus the averaged scaling
+// factors derived from them — the procedure of Section S3.
+func Characterize7Reference() ([]Table11Row, Scale7Factors, error) {
+	const (
+		slew45 = 19.0
+		load45 = 3.2
+	)
+	e45, e7 := env45(), env7()
+	// The paper characterizes both nodes at the same nominal condition
+	// (input slew 19 ps, load 3.2 fF — Table 11's caption).
+	slew7, load7 := slew45, load45
+
+	var rows []Table11Row
+	sum := Scale7Factors{Geometry: 7.0 / 45.0}
+	for _, base := range []string{"INV", "NAND2", "DFF"} {
+		def, ok := cellgen.Template(base)
+		if !ok {
+			return nil, Scale7Factors{}, fmt.Errorf("missing template %s", base)
+		}
+		lay := cellgen.Generate2D(&def)
+		ex := extract.Extract(&def, lay, extract.Dielectric)
+
+		arc := &def.Arcs[0]
+		m45, err := simulatePoint(&def, ex, arc, e45, slew45, load45)
+		if err != nil {
+			return nil, Scale7Factors{}, fmt.Errorf("45nm %s: %w", base, err)
+		}
+		m7, err := simulatePoint(&def, ex, arc, e7, slew7, load7)
+		if err != nil {
+			return nil, Scale7Factors{}, fmt.Errorf("7nm %s: %w", base, err)
+		}
+		in := def.Inputs[0]
+		row := Table11Row{
+			Cell:        base,
+			InputCap45:  e45.pinCap(&def, ex, in),
+			InputCap7:   e7.pinCap(&def, ex, in),
+			Delay45:     m45.delay,
+			Delay7:      m7.delay,
+			OutSlew45:   m45.outSlew,
+			OutSlew7:    m7.outSlew,
+			CellPower45: m45.energy,
+			CellPower7:  m7.energy,
+			Leakage45:   e45.leakage(&def) * 1e9, // mW → pW
+			Leakage7:    e7.leakage(&def) * 1e9,
+		}
+		rows = append(rows, row)
+		sum.InputCap += row.InputCap7 / row.InputCap45
+		sum.Delay += row.Delay7 / row.Delay45
+		sum.OutSlew += row.OutSlew7 / row.OutSlew45
+		sum.Energy += row.CellPower7 / row.CellPower45
+		sum.Leakage += row.Leakage7 / row.Leakage45
+	}
+	n := float64(len(rows))
+	sum.InputCap /= n
+	sum.Delay /= n
+	sum.OutSlew /= n
+	sum.Energy /= n
+	sum.Leakage /= n
+	return rows, sum, nil
+}

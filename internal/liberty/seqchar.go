@@ -1,0 +1,149 @@
+package liberty
+
+import (
+	"tmi3d/internal/cellgen"
+	"tmi3d/internal/extract"
+	"tmi3d/internal/spice"
+)
+
+// Sequential constraint characterization: the setup time is found by binary
+// search on the data-to-clock separation — the smallest D→CK interval for
+// which the flop still captures the new value — exactly how Encounter
+// Library Characterizer measures it. Hold is searched symmetrically on the
+// clock-to-data-change side.
+
+const (
+	seqSlew = 28.1 // ps, the DFF medium corner
+	seqLoad = 3.2  // fF
+)
+
+// characterizeSetupHold measures setup and hold times in ps. A 10% guard is
+// added, matching library practice.
+func characterizeSetupHold(def *cellgen.CellDef, ex *extract.Result, env charEnv) (setup, hold float64, err error) {
+	captures := func(dToCk float64, dataFall bool) (bool, error) {
+		return simulateCapture(def, ex, env, dToCk, dataFall)
+	}
+	// Setup: bisect the smallest D→CK separation that still captures.
+	lo, hi := -20.0, 250.0
+	okHi, err := captures(hi, false)
+	if err != nil {
+		return 0, 0, err
+	}
+	if !okHi {
+		// The flop never captures at this corner — fall back to defaults.
+		return setup45, hold45, nil
+	}
+	for i := 0; i < 10; i++ {
+		mid := (lo + hi) / 2
+		ok, err := captures(mid, false)
+		if err != nil {
+			return 0, 0, err
+		}
+		if ok {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	setup = hi * 1.1
+	if setup < 1 {
+		setup = 1
+	}
+	// Hold: smallest CK→(D change) separation that keeps the captured value.
+	lo, hi = -40.0, 150.0
+	okHi, err = holds(def, ex, env, hi)
+	if err != nil {
+		return 0, 0, err
+	}
+	if !okHi {
+		return setup, hold45, nil
+	}
+	for i := 0; i < 10; i++ {
+		mid := (lo + hi) / 2
+		ok, err := holds(def, ex, env, mid)
+		if err != nil {
+			return 0, 0, err
+		}
+		if ok {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	hold = hi * 1.1
+	if hold < 1 {
+		hold = 1
+	}
+	return setup, hold, nil
+}
+
+// simulateCapture checks whether a D transition arriving dToCk ps before the
+// clock edge is captured.
+func simulateCapture(def *cellgen.CellDef, ex *extract.Result, env charEnv, dToCk float64, dataFall bool) (bool, error) {
+	vdd := env.vdd
+	c, near, far := buildCircuit(def, ex, env)
+	rise := seqSlew / 0.8
+	tCk := 200.0
+	tD := tCk - dToCk
+	v0, v1 := 0.0, vdd
+	if dataFall {
+		v0, v1 = vdd, 0
+	}
+	c.AddV(near[def.Data], spice.Ramp{V0: v0, V1: v1, T0: tD, Rise: rise})
+	c.AddV(near[def.Clock], spice.Ramp{V0: 0, V1: vdd, T0: tCk, Rise: rise})
+	c.AddC(far["Q"], spice.Ground, seqLoad)
+
+	// Previous state = old D value.
+	prevQ := v0
+	seedDFFState(c, near, far, vdd, v0, prevQ)
+
+	res, err := c.Transient(spice.Options{Stop: tCk + 450, Step: 1.0})
+	if err != nil {
+		return false, err
+	}
+	vq := res.Voltage(far["Q"])
+	final := vq[len(vq)-1]
+	if dataFall {
+		return final < 0.2*vdd, nil
+	}
+	return final > 0.8*vdd, nil
+}
+
+// holds checks whether a D change ckToD ps AFTER the clock edge leaves the
+// captured value intact.
+func holds(def *cellgen.CellDef, ex *extract.Result, env charEnv, ckToD float64) (bool, error) {
+	vdd := env.vdd
+	c, near, far := buildCircuit(def, ex, env)
+	rise := seqSlew / 0.8
+	tCk := 200.0
+	// D was 1 well before the edge, falls ckToD after it.
+	c.AddV(near[def.Data], spice.Ramp{V0: vdd, V1: 0, T0: tCk + ckToD, Rise: rise})
+	c.AddV(near[def.Clock], spice.Ramp{V0: 0, V1: vdd, T0: tCk, Rise: rise})
+	c.AddC(far["Q"], spice.Ground, seqLoad)
+	seedDFFState(c, near, far, vdd, vdd, 0)
+
+	res, err := c.Transient(spice.Options{Stop: tCk + 450, Step: 1.0})
+	if err != nil {
+		return false, err
+	}
+	vq := res.Voltage(far["Q"])
+	return vq[len(vq)-1] > 0.8*vdd, nil
+}
+
+// seedDFFState sets DC guesses consistent with data value dv and previous
+// output prevQ.
+func seedDFFState(c *spice.Circuit, near, far map[string]string, vdd, dv, prevQ float64) {
+	setBoth := func(net string, v float64) {
+		c.SetGuess(near[net], v)
+		c.SetGuess(far[net], v)
+	}
+	setBoth("s1", vdd-prevQ)
+	setBoth("s2", prevQ)
+	setBoth("sf", vdd-prevQ)
+	setBoth("Q", prevQ)
+	setBoth("m1", dv)
+	setBoth("m2", vdd-dv)
+	setBoth("mf", dv)
+	setBoth("ckb", vdd)
+	setBoth("cki", 0)
+}

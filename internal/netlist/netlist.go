@@ -1,0 +1,285 @@
+// Package netlist provides the gate-level design representation shared by
+// synthesis, placement, routing, timing and power analysis: instances of
+// library functions connected by nets, with primary inputs/outputs and a
+// single clock domain (the benchmark circuits of the paper are all
+// single-clock synchronous designs).
+//
+// Before technology mapping an instance carries only its function name
+// ("NAND2") — synthesis binds it to a concrete library cell ("NAND2_X2").
+package netlist
+
+import (
+	"fmt"
+	"sort"
+)
+
+// PinRef identifies one pin of one instance.
+type PinRef struct {
+	Inst int    // instance index; -1 for design ports
+	Pin  string // pin name; for ports, the port name
+}
+
+// Net connects one driver to its sinks.
+type Net struct {
+	Name string
+	// Driver is the source pin: an instance output, or a primary input
+	// (Inst = -1).
+	Driver PinRef
+	// Sinks are instance input pins and primary outputs (Inst = -1).
+	Sinks []PinRef
+}
+
+// Fanout returns the number of sink pins.
+func (n *Net) Fanout() int { return len(n.Sinks) }
+
+// Instance is a gate instance.
+type Instance struct {
+	Name string
+	// Func is the logical function (cellgen base name, e.g. "XOR2").
+	Func string
+	// CellName is the bound library cell after technology mapping
+	// (e.g. "XOR2_X2"); empty before mapping.
+	CellName string
+	// Pins maps pin names to net indices.
+	Pins map[string]int
+	// IsBuffer marks buffers/inverters inserted by optimization (the paper's
+	// "#buffers" metric counts inverting and non-inverting buffers).
+	IsBuffer bool
+}
+
+// Design is a complete gate-level netlist.
+type Design struct {
+	Name      string
+	Instances []Instance
+	Nets      []Net
+	// PIs and POs map port names to net indices.
+	PIs map[string]int
+	POs map[string]int
+	// ClockNet is the net index of the clock, or -1.
+	ClockNet int
+	// TargetClockPs is the synthesis/layout target clock period in ps.
+	TargetClockPs float64
+
+	netIndex map[string]int
+}
+
+// New creates an empty design.
+func New(name string) *Design {
+	return &Design{
+		Name:     name,
+		PIs:      map[string]int{},
+		POs:      map[string]int{},
+		ClockNet: -1,
+		netIndex: map[string]int{},
+	}
+}
+
+// AddNet creates (or returns) the net with the given name.
+func (d *Design) AddNet(name string) int {
+	if i, ok := d.netIndex[name]; ok {
+		return i
+	}
+	i := len(d.Nets)
+	d.Nets = append(d.Nets, Net{Name: name, Driver: PinRef{Inst: -2}})
+	d.netIndex[name] = i
+	return i
+}
+
+// NetByName returns the index of a named net, or -1.
+func (d *Design) NetByName(name string) int {
+	if i, ok := d.netIndex[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// AddInstance appends a gate. pins maps pin names to net names; the driver
+// output pin is recorded on the net.
+func (d *Design) AddInstance(name, fn string, pins map[string]string, outputs ...string) int {
+	idx := len(d.Instances)
+	inst := Instance{Name: name, Func: fn, Pins: map[string]int{}}
+	outSet := map[string]bool{}
+	for _, o := range outputs {
+		outSet[o] = true
+	}
+	for pin, netName := range pins {
+		ni := d.AddNet(netName)
+		inst.Pins[pin] = ni
+		if outSet[pin] {
+			d.Nets[ni].Driver = PinRef{Inst: idx, Pin: pin}
+		} else {
+			d.Nets[ni].Sinks = append(d.Nets[ni].Sinks, PinRef{Inst: idx, Pin: pin})
+		}
+	}
+	d.Instances = append(d.Instances, inst)
+	return idx
+}
+
+// AddPI declares a primary input driving the named net.
+func (d *Design) AddPI(port, netName string) {
+	ni := d.AddNet(netName)
+	d.Nets[ni].Driver = PinRef{Inst: -1, Pin: port}
+	d.PIs[port] = ni
+}
+
+// AddPO declares a primary output sinking the named net.
+func (d *Design) AddPO(port, netName string) {
+	ni := d.AddNet(netName)
+	d.Nets[ni].Sinks = append(d.Nets[ni].Sinks, PinRef{Inst: -1, Pin: port})
+	d.POs[port] = ni
+}
+
+// SetClock marks the clock net (created if needed).
+func (d *Design) SetClock(netName string) {
+	d.ClockNet = d.AddNet(netName)
+	if _, ok := d.PIs["clk"]; !ok {
+		d.Nets[d.ClockNet].Driver = PinRef{Inst: -1, Pin: "clk"}
+		d.PIs["clk"] = d.ClockNet
+	}
+}
+
+// Stats summarizes a design the way Table 12 reports it.
+type Stats struct {
+	NumCells      int
+	NumNets       int
+	NumBuffers    int
+	NumSeq        int
+	AverageFanout float64
+}
+
+// Stats computes design statistics. Average fanout follows the usual
+// definition: sink pins per net, over nets with a real driver, excluding the
+// clock net.
+func (d *Design) Stats() Stats {
+	s := Stats{NumCells: len(d.Instances)}
+	for i := range d.Instances {
+		if d.Instances[i].IsBuffer {
+			s.NumBuffers++
+		}
+		if d.Instances[i].Func == "DFF" {
+			s.NumSeq++
+		}
+	}
+	sinks := 0
+	for i := range d.Nets {
+		if i == d.ClockNet {
+			continue
+		}
+		s.NumNets++
+		sinks += len(d.Nets[i].Sinks)
+	}
+	if s.NumNets > 0 {
+		s.AverageFanout = float64(sinks) / float64(s.NumNets)
+	}
+	return s
+}
+
+// Validate checks structural invariants: every net has exactly one driver,
+// every instance pin refers to a valid net, no dangling sinks.
+func (d *Design) Validate() error {
+	for i, n := range d.Nets {
+		if n.Driver.Inst == -2 {
+			return fmt.Errorf("net %q (%d) has no driver", n.Name, i)
+		}
+		// Nets with no sinks are legal: generators leave unused carries
+		// and helper nets dangling, exactly as RTL does before synthesis
+		// pruning. They carry no timing endpoints and no switching load.
+		for _, s := range n.Sinks {
+			if s.Inst >= len(d.Instances) {
+				return fmt.Errorf("net %q sink instance %d out of range", n.Name, s.Inst)
+			}
+		}
+	}
+	for i, inst := range d.Instances {
+		if len(inst.Pins) == 0 {
+			return fmt.Errorf("instance %q (%d) has no pins", inst.Name, i)
+		}
+		for pin, ni := range inst.Pins {
+			if ni < 0 || ni >= len(d.Nets) {
+				return fmt.Errorf("instance %q pin %s: net %d out of range", inst.Name, pin, ni)
+			}
+		}
+	}
+	return nil
+}
+
+// SortedPIs returns primary input names, sorted (deterministic iteration).
+func (d *Design) SortedPIs() []string {
+	out := make([]string, 0, len(d.PIs))
+	for k := range d.PIs {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// InsertBuffer splits a net: a new buffering instance of function fn (bound
+// to cellName) is driven by the net, and the listed sink pins move onto the
+// buffer's output net. It returns the new net and instance indices.
+func (d *Design) InsertBuffer(net int, moved []PinRef, fn, cellName string) (newNet, instIdx int) {
+	name := fmt.Sprintf("optbuf_%d", len(d.Instances))
+	newNet = d.AddNet(name + "_z")
+	instIdx = len(d.Instances)
+	inst := Instance{
+		Name: name, Func: fn, CellName: cellName, IsBuffer: true,
+		Pins: map[string]int{"A": net, "Z": newNet},
+	}
+	d.Instances = append(d.Instances, inst)
+	d.Nets[newNet].Driver = PinRef{Inst: instIdx, Pin: "Z"}
+
+	movedSet := make(map[PinRef]bool, len(moved))
+	for _, m := range moved {
+		movedSet[m] = true
+	}
+	var keep []PinRef
+	for _, s := range d.Nets[net].Sinks {
+		if movedSet[s] {
+			d.Nets[newNet].Sinks = append(d.Nets[newNet].Sinks, s)
+			if s.Inst >= 0 {
+				d.Instances[s.Inst].Pins[s.Pin] = newNet
+			} else {
+				// A primary output moved onto the buffered net.
+				d.POs[s.Pin] = newNet
+			}
+		} else {
+			keep = append(keep, s)
+		}
+	}
+	keep = append(keep, PinRef{Inst: instIdx, Pin: "A"})
+	d.Nets[net].Sinks = keep
+	return newNet, instIdx
+}
+
+// Clone deep-copies the design (used to branch 2D vs T-MI implementations
+// from one synthesized netlist).
+func (d *Design) Clone() *Design {
+	out := New(d.Name)
+	out.TargetClockPs = d.TargetClockPs
+	out.ClockNet = d.ClockNet
+	out.Instances = make([]Instance, len(d.Instances))
+	for i, inst := range d.Instances {
+		cp := inst
+		cp.Pins = make(map[string]int, len(inst.Pins))
+		for k, v := range inst.Pins {
+			cp.Pins[k] = v
+		}
+		out.Instances[i] = cp
+	}
+	out.Nets = make([]Net, len(d.Nets))
+	for i, n := range d.Nets {
+		cp := n
+		cp.Sinks = make([]PinRef, len(n.Sinks))
+		copy(cp.Sinks, n.Sinks)
+		out.Nets[i] = cp
+	}
+	for k, v := range d.PIs {
+		out.PIs[k] = v
+	}
+	for k, v := range d.POs {
+		out.POs[k] = v
+	}
+	for k, v := range d.netIndex {
+		out.netIndex[k] = v
+	}
+	return out
+}

@@ -1,0 +1,148 @@
+package netlist
+
+import "testing"
+
+func sample() *Design {
+	d := New("t")
+	d.AddPI("a", "a")
+	d.AddPI("b", "b")
+	d.AddInstance("g1", "NAND2", map[string]string{"A": "a", "B": "b", "Z": "n1"}, "Z")
+	d.AddInstance("g2", "INV", map[string]string{"A": "n1", "Z": "n2"}, "Z")
+	d.AddInstance("ff", "DFF", map[string]string{"D": "n2", "CK": "clk", "Q": "q"}, "Q")
+	d.AddPO("out", "q")
+	d.SetClock("clk")
+	return d
+}
+
+func TestBuildAndValidate(t *testing.T) {
+	d := sample()
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.NetByName("n1"); got < 0 {
+		t.Error("n1 missing")
+	}
+	if d.NetByName("nope") != -1 {
+		t.Error("missing net should be -1")
+	}
+	n1 := d.NetByName("n1")
+	if d.Nets[n1].Driver.Inst != 0 || d.Nets[n1].Driver.Pin != "Z" {
+		t.Errorf("n1 driver = %+v", d.Nets[n1].Driver)
+	}
+	if d.Nets[n1].Fanout() != 1 {
+		t.Errorf("n1 fanout = %d", d.Nets[n1].Fanout())
+	}
+}
+
+func TestStats(t *testing.T) {
+	d := sample()
+	st := d.Stats()
+	if st.NumCells != 3 || st.NumSeq != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.NumBuffers != 0 {
+		t.Error("no buffers yet")
+	}
+	// Nets excluding clock: a, b, n1, n2, q = 5.
+	if st.NumNets != 5 {
+		t.Errorf("NumNets = %d, want 5", st.NumNets)
+	}
+}
+
+func TestValidateCatchesNoDriver(t *testing.T) {
+	d := New("bad")
+	d.AddInstance("g", "INV", map[string]string{"A": "floating", "Z": "z"}, "Z")
+	if err := d.Validate(); err == nil {
+		t.Error("undriven input net should fail validation")
+	}
+}
+
+func TestInsertBuffer(t *testing.T) {
+	d := New("buf")
+	d.AddPI("a", "a")
+	d.AddInstance("g1", "INV", map[string]string{"A": "a", "Z": "n"}, "Z")
+	for i := 0; i < 4; i++ {
+		d.AddInstance("s"+string(rune('0'+i)), "INV",
+			map[string]string{"A": "n", "Z": "z" + string(rune('0'+i))}, "Z")
+		d.AddPO("o"+string(rune('0'+i)), "z"+string(rune('0'+i)))
+	}
+	n := d.NetByName("n")
+	moved := d.Nets[n].Sinks[2:4:4]
+	movedCopy := append([]PinRef{}, moved...)
+	newNet, inst := d.InsertBuffer(n, movedCopy, "BUF", "BUF_X4")
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !d.Instances[inst].IsBuffer {
+		t.Error("buffer flag missing")
+	}
+	if d.Nets[n].Fanout() != 3 { // 2 kept + buffer input
+		t.Errorf("root fanout = %d, want 3", d.Nets[n].Fanout())
+	}
+	if d.Nets[newNet].Fanout() != 2 {
+		t.Errorf("buffered fanout = %d, want 2", d.Nets[newNet].Fanout())
+	}
+	// Moved instances now reference the new net.
+	for _, s := range d.Nets[newNet].Sinks {
+		if d.Instances[s.Inst].Pins[s.Pin] != newNet {
+			t.Error("moved sink pin not rebound")
+		}
+	}
+	if st := d.Stats(); st.NumBuffers != 1 {
+		t.Errorf("buffer count = %d", st.NumBuffers)
+	}
+}
+
+func TestInsertBufferMovesPO(t *testing.T) {
+	d := New("po")
+	d.AddPI("a", "a")
+	d.AddInstance("g", "INV", map[string]string{"A": "a", "Z": "z"}, "Z")
+	d.AddPO("out", "z")
+	z := d.NetByName("z")
+	newNet, _ := d.InsertBuffer(z, []PinRef{{Inst: -1, Pin: "out"}}, "BUF", "BUF_X1")
+	if d.POs["out"] != newNet {
+		t.Error("PO should move to the buffered net")
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	d := sample()
+	c := d.Clone()
+	if c.Stats() != d.Stats() {
+		t.Fatal("clone stats differ")
+	}
+	// Mutating the clone must not affect the original.
+	c.Instances[0].CellName = "NAND2_X4"
+	c.Nets[0].Sinks = append(c.Nets[0].Sinks, PinRef{Inst: 1, Pin: "A"})
+	if d.Instances[0].CellName == "NAND2_X4" {
+		t.Error("instance mutation leaked to original")
+	}
+	origSinks := len(d.Nets[0].Sinks)
+	if len(c.Nets[0].Sinks) == origSinks {
+		t.Error("clone sink append did not apply")
+	}
+	// netIndex also cloned.
+	c.AddNet("extra")
+	if d.NetByName("extra") != -1 {
+		t.Error("net index leaked to original")
+	}
+}
+
+func TestSortedPIsDeterministic(t *testing.T) {
+	d := sample()
+	a := d.SortedPIs()
+	b := d.SortedPIs()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("SortedPIs not deterministic")
+		}
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i-1] >= a[i] {
+			t.Fatal("SortedPIs not sorted")
+		}
+	}
+}

@@ -1,0 +1,394 @@
+// Package opt implements the layout optimization steps of the paper's flow
+// (Fig 1): pre-route and post-route timing closure by slack-driven gate
+// sizing and buffer insertion, followed by power recovery (downsizing cells
+// with excess slack). This is the stage where the T-MI benefit compounds —
+// shorter wires mean timing closes with fewer buffers and smaller cells,
+// reducing cell power as well as net power (Section 4.1).
+package opt
+
+import (
+	"math"
+	"sort"
+
+	"tmi3d/internal/liberty"
+	"tmi3d/internal/netlist"
+	"tmi3d/internal/place"
+	"tmi3d/internal/sta"
+)
+
+// Options configures optimization.
+type Options struct {
+	Lib *liberty.Library
+	// Wire supplies per-net parasitics; it must reflect netlist changes
+	// (buffer insertion appends nets).
+	Wire func(net int) sta.WireRC
+	// Placement, when set, is updated with inserted buffer locations and
+	// used to compute their net-length effect.
+	Placement *place.Placement
+	// MaxRounds bounds the closure loop (default 12).
+	MaxRounds int
+	// BufferCell names the buffer used for insertion (default BUF_X4).
+	BufferCell string
+	// WireDelayThresholdPs triggers buffering of nets whose wire delay
+	// exceeds this many ps (default 40).
+	WireDelayThresholdPs float64
+	// PowerRecovery enables the downsizing pass once timing is met.
+	PowerRecovery bool
+	// SlackMarginPs is the slack kept in hand while downsizing (default 15).
+	SlackMarginPs float64
+	// SkipDRV suppresses the max-cap pass (ECO reruns after routing, where
+	// DRVs were already fixed).
+	SkipDRV bool
+	// NetChanged, when set, is invoked for every net whose sinks or
+	// geometry the optimizer alters — callers with cached extraction use it
+	// to invalidate stale parasitics.
+	NetChanged func(net int)
+	// AreaBudget caps total cell area (µm²): no upsizing or buffering move
+	// may push the design beyond it, mirroring the placement-density limit
+	// a real optimizer works under. Zero means unlimited.
+	AreaBudget float64
+}
+
+// Stats summarizes what the optimizer did.
+type Stats struct {
+	Upsized    int
+	Downsized  int
+	BuffersAdd int
+	FinalWNS   float64
+	Rounds     int
+}
+
+// Close runs timing closure and optional power recovery on the design.
+func Close(d *netlist.Design, opt Options) (*Stats, error) {
+	if opt.MaxRounds == 0 {
+		opt.MaxRounds = 12
+	}
+	if opt.BufferCell == "" {
+		opt.BufferCell = "BUF_X4"
+	}
+	if opt.WireDelayThresholdPs == 0 {
+		opt.WireDelayThresholdPs = 40
+	}
+	if opt.SlackMarginPs == 0 {
+		opt.SlackMarginPs = 15
+	}
+	env := sta.Env{Lib: opt.Lib, Wire: opt.Wire}
+	st := &Stats{}
+	area := &areaTracker{budget: opt.AreaBudget}
+	if opt.AreaBudget > 0 {
+		for i := range d.Instances {
+			area.used += opt.Lib.MustCell(d.Instances[i].CellName).Area
+		}
+	}
+
+	var res *sta.Result
+	var err error
+	// DRV pass: fix max-capacitance violations first (Encounter's order).
+	// Long wires load their drivers beyond the library limit; splitting them
+	// behind buffers is where most of a wire-dominated design's buffer count
+	// comes from — and where T-MI's shorter wires save cells (Section 4.3).
+	for round := 0; !opt.SkipDRV && round < 4; round++ {
+		res, err = sta.Analyze(d, env)
+		if err != nil {
+			return nil, err
+		}
+		if fixMaxCap(d, opt, res, st, area) == 0 {
+			break
+		}
+	}
+	for round := 0; round < opt.MaxRounds; round++ {
+		st.Rounds = round + 1
+		res, err = sta.Analyze(d, env)
+		if err != nil {
+			return nil, err
+		}
+		if res.Met() {
+			break
+		}
+		changed := 0
+		changed += upsizeWorst(d, opt.Lib, res, st, area)
+		changed += bufferLongNets(d, opt, res, st, area)
+		if changed == 0 {
+			break
+		}
+	}
+
+	if opt.PowerRecovery {
+		for round := 0; round < 6; round++ {
+			res, err = sta.Analyze(d, env)
+			if err != nil {
+				return nil, err
+			}
+			if !res.Met() {
+				break
+			}
+			if downsizeIdle(d, opt.Lib, res, opt.SlackMarginPs, st) == 0 {
+				break
+			}
+		}
+		// Repair any recovery overshoot: the downsizing batches use slacks
+		// from the start of their round, so a few paths can dip negative.
+		for round := 0; round < opt.MaxRounds; round++ {
+			res, err = sta.Analyze(d, env)
+			if err != nil {
+				return nil, err
+			}
+			if res.Met() {
+				break
+			}
+			if upsizeWorst(d, opt.Lib, res, st, area) == 0 {
+				break
+			}
+		}
+	}
+	res, err = sta.Analyze(d, env)
+	if err != nil {
+		return nil, err
+	}
+	st.FinalWNS = res.WNS
+	return st, nil
+}
+
+// fixMaxCap buffers nets whose load exceeds the driver's max capacitance.
+func fixMaxCap(d *netlist.Design, opt Options, res *sta.Result, st *Stats, area *areaTracker) int {
+	changed := 0
+	numNets := len(d.Nets)
+	for ni := 0; ni < numNets; ni++ {
+		if ni == d.ClockNet {
+			continue
+		}
+		drv := d.Nets[ni].Driver
+		if drv.Inst < 0 || len(d.Nets[ni].Sinks) < 2 {
+			continue
+		}
+		cell := opt.Lib.MustCell(d.Instances[drv.Inst].CellName)
+		if res.Load[ni] <= cell.MaxCap() {
+			continue
+		}
+		moved := fartherHalf(d, opt, ni)
+		if len(moved) == 0 || !area.allow(opt.Lib.MustCell(opt.BufferCell).Area) {
+			continue
+		}
+		newNet, instIdx := d.InsertBuffer(ni, moved, "BUF", opt.BufferCell)
+		if opt.Placement != nil {
+			placeBuffer(opt.Placement, newNet, instIdx)
+		}
+		if opt.NetChanged != nil {
+			opt.NetChanged(ni)
+			opt.NetChanged(newNet)
+		}
+		st.BuffersAdd++
+		changed++
+	}
+	return changed
+}
+
+// upsizeWorst increases drive strength on drivers of negative-slack nets.
+func upsizeWorst(d *netlist.Design, lib *liberty.Library, res *sta.Result, st *Stats, area *areaTracker) int {
+	type cand struct {
+		inst  int
+		slack float64
+	}
+	var cands []cand
+	seen := map[int]bool{}
+	for ni := range d.Nets {
+		sl := res.Slack(ni)
+		if sl >= 0 {
+			continue
+		}
+		drv := d.Nets[ni].Driver
+		if drv.Inst < 0 || seen[drv.Inst] {
+			continue
+		}
+		seen[drv.Inst] = true
+		cands = append(cands, cand{drv.Inst, sl})
+	}
+	if len(cands) == 0 {
+		return 0
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].slack < cands[j].slack })
+	limit := len(cands)/4 + 32
+	changed := 0
+	for _, c := range cands {
+		if changed >= limit {
+			break
+		}
+		cell := lib.MustCell(d.Instances[c.inst].CellName)
+		if up := lib.Upsize(cell); up != nil && area.allow(up.Area-cell.Area) {
+			d.Instances[c.inst].CellName = up.Name
+			changed++
+			st.Upsized++
+		}
+	}
+	return changed
+}
+
+// bufferLongNets inserts buffers on critical nets whose wire delay is large:
+// the buffer is placed at the sink centroid, cutting the driver's RC load.
+func bufferLongNets(d *netlist.Design, opt Options, res *sta.Result, st *Stats, area *areaTracker) int {
+	type cand struct {
+		net   int
+		delay float64
+	}
+	var cands []cand
+	numNets := len(d.Nets)
+	for ni := 0; ni < numNets; ni++ {
+		if ni == d.ClockNet || res.Slack(ni) >= 0 {
+			continue
+		}
+		w := opt.Wire(ni)
+		wireDelay := w.R * (res.Load[ni] - w.C/2) / 1000
+		if wireDelay > opt.WireDelayThresholdPs && len(d.Nets[ni].Sinks) >= 2 {
+			cands = append(cands, cand{ni, wireDelay})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].delay > cands[j].delay })
+	limit := len(cands)/4 + 8
+	changed := 0
+	for _, c := range cands {
+		if changed >= limit {
+			break
+		}
+		ni := c.net
+		sinks := d.Nets[ni].Sinks
+		if len(sinks) < 2 {
+			continue
+		}
+		// Move the farther half of the sinks behind a buffer.
+		moved := fartherHalf(d, opt, ni)
+		if len(moved) == 0 || !area.allow(opt.Lib.MustCell(opt.BufferCell).Area) {
+			continue
+		}
+		newNet, instIdx := d.InsertBuffer(ni, moved, "BUF", opt.BufferCell)
+		if opt.Placement != nil {
+			placeBuffer(opt.Placement, newNet, instIdx)
+		}
+		if opt.NetChanged != nil {
+			opt.NetChanged(ni)
+			opt.NetChanged(newNet)
+		}
+		st.BuffersAdd++
+		changed++
+	}
+	return changed
+}
+
+// fartherHalf picks the sinks farthest from the driver (by placement when
+// available, otherwise the second half of the sink list).
+func fartherHalf(d *netlist.Design, opt Options, ni int) []netlist.PinRef {
+	sinks := d.Nets[ni].Sinks
+	half := len(sinks) / 2
+	if half == 0 {
+		return nil
+	}
+	if opt.Placement == nil {
+		out := make([]netlist.PinRef, half)
+		copy(out, sinks[len(sinks)-half:])
+		return out
+	}
+	drv := opt.Placement.PinPoint(d.Nets[ni].Driver)
+	type sd struct {
+		ref  netlist.PinRef
+		dist float64
+	}
+	arr := make([]sd, len(sinks))
+	for i, s := range sinks {
+		arr[i] = sd{s, opt.Placement.PinPoint(s).ManhattanDist(drv)}
+	}
+	sort.Slice(arr, func(a, b int) bool { return arr[a].dist > arr[b].dist })
+	out := make([]netlist.PinRef, half)
+	for i := 0; i < half; i++ {
+		out[i] = arr[i].ref
+	}
+	return out
+}
+
+// placeBuffer extends the placement with the new buffer at the centroid of
+// the sinks it now drives.
+func placeBuffer(p *place.Placement, newNet, instIdx int) {
+	d := p.Design
+	var cx, cy float64
+	n := 0
+	for _, s := range d.Nets[newNet].Sinks {
+		pt := p.PinPoint(s)
+		cx += pt.X
+		cy += pt.Y
+		n++
+	}
+	if n == 0 {
+		cx, cy = p.Die.Center().X, p.Die.Center().Y
+	} else {
+		cx /= float64(n)
+		cy /= float64(n)
+	}
+	// Snap inside the die.
+	cx = math.Max(p.Die.Lo.X, math.Min(cx, p.Die.Hi.X))
+	cy = math.Max(p.Die.Lo.Y, math.Min(cy, p.Die.Hi.Y))
+	for instIdx >= len(p.X) {
+		p.X = append(p.X, 0)
+		p.Y = append(p.Y, 0)
+	}
+	p.X[instIdx] = cx
+	p.Y[instIdx] = cy
+}
+
+// areaTracker enforces the optimizer's placement-density budget.
+type areaTracker struct {
+	budget float64
+	used   float64
+}
+
+// allow reserves delta µm² if the budget permits (always true when no
+// budget is set).
+func (a *areaTracker) allow(delta float64) bool {
+	if a.budget <= 0 {
+		a.used += delta
+		return true
+	}
+	if a.used+delta > a.budget {
+		return false
+	}
+	a.used += delta
+	return true
+}
+
+// downsizeIdle reduces drive strength where slack is comfortably positive —
+// the optimizer's power recovery (Section 4.1: "with a better timing, cells
+// are downsized ... to reduce cell power"). Each candidate's delay penalty
+// is estimated from the library tables and charged against its slack, which
+// keeps a batch from overshooting too far.
+func downsizeIdle(d *netlist.Design, lib *liberty.Library, res *sta.Result, margin float64, st *Stats) int {
+	changed := 0
+	for ni := range d.Nets {
+		sl := res.Slack(ni)
+		if math.IsInf(sl, 1) || sl < 3*margin {
+			continue
+		}
+		drv := d.Nets[ni].Driver
+		if drv.Inst < 0 {
+			continue
+		}
+		cell := lib.MustCell(d.Instances[drv.Inst].CellName)
+		dn := lib.Downsize(cell)
+		if dn == nil {
+			continue
+		}
+		cur := cell.WorstArc(drv.Pin)
+		next := dn.WorstArc(drv.Pin)
+		if cur == nil || next == nil {
+			continue
+		}
+		slew := res.Slew[ni]
+		load := res.Load[ni]
+		delta := next.Delay.At(slew, load) - cur.Delay.At(slew, load)
+		// A path may cross several downsized cells in one batch; demand
+		// headroom for a handful of them.
+		if delta > 0 && sl-5*delta < 2*margin {
+			continue
+		}
+		d.Instances[drv.Inst].CellName = dn.Name
+		changed++
+		st.Downsized++
+	}
+	return changed
+}

@@ -1,0 +1,147 @@
+package opt
+
+import (
+	"testing"
+
+	"tmi3d/internal/circuits"
+	"tmi3d/internal/liberty"
+	"tmi3d/internal/netlist"
+	"tmi3d/internal/sta"
+	"tmi3d/internal/tech"
+)
+
+func lib(t testing.TB) *liberty.Library {
+	t.Helper()
+	l, err := liberty.Default(tech.N45, tech.Mode2D)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func mapped(t testing.TB, name string, scale float64) *netlist.Design {
+	t.Helper()
+	d, err := circuits.Generate(name, scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range d.Instances {
+		d.Instances[i].CellName = d.Instances[i].Func + "_X1"
+	}
+	return d
+}
+
+func wire(r, c float64) func(int) sta.WireRC {
+	return func(int) sta.WireRC { return sta.WireRC{R: r, C: c} }
+}
+
+func TestClosesAchievableTiming(t *testing.T) {
+	l := lib(t)
+	d := mapped(t, "LDPC", 0.05)
+	d.TargetClockPs = 4500
+	st, err := Close(d, Options{Lib: l, Wire: wire(20, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.FinalWNS < 0 {
+		t.Errorf("achievable clock not closed: WNS=%v after %d upsizes, %d buffers",
+			st.FinalWNS, st.Upsized, st.BuffersAdd)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUpsizesUnderPressure(t *testing.T) {
+	l := lib(t)
+	d := mapped(t, "DES", 0.06)
+	d.TargetClockPs = 1400
+	st, err := Close(d, Options{Lib: l, Wire: wire(20, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Upsized == 0 {
+		t.Error("tight clock should force upsizing")
+	}
+	larger := 0
+	for i := range d.Instances {
+		if l.MustCell(d.Instances[i].CellName).Strength > 1 {
+			larger++
+		}
+	}
+	if larger == 0 {
+		t.Error("no cells above X1 after closure")
+	}
+}
+
+// Power recovery must downsize on a relaxed clock and keep timing met.
+func TestPowerRecovery(t *testing.T) {
+	l := lib(t)
+	d := mapped(t, "FPU", 0.05)
+	// Pre-inflate everything to X4.
+	for i := range d.Instances {
+		c := l.MustCell(d.Instances[i].CellName)
+		if up := l.Upsize(c); up != nil {
+			if up2 := l.Upsize(up); up2 != nil {
+				d.Instances[i].CellName = up2.Name
+			}
+		}
+	}
+	d.TargetClockPs = 12000
+	st, err := Close(d, Options{Lib: l, Wire: wire(20, 1), PowerRecovery: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Downsized == 0 {
+		t.Error("relaxed clock with X4 cells should downsize")
+	}
+	if st.FinalWNS < 0 {
+		t.Errorf("recovery must preserve timing: WNS=%v", st.FinalWNS)
+	}
+}
+
+// Max-cap violations get buffered even when timing is already met.
+func TestMaxCapBuffering(t *testing.T) {
+	l := lib(t)
+	d := netlist.New("mc")
+	d.AddPI("a", "a")
+	d.AddInstance("drv", "INV", map[string]string{"A": "a", "Z": "n"}, "Z")
+	d.Instances[0].CellName = "INV_X1"
+	for i := 0; i < 8; i++ {
+		out := "z" + string(rune('0'+i))
+		d.AddInstance("s"+out, "INV", map[string]string{"A": "n", "Z": out}, "Z")
+		d.Instances[len(d.Instances)-1].CellName = "INV_X1"
+		d.AddPO("o"+out, out)
+	}
+	d.SetClock("clk")
+	d.TargetClockPs = 100000
+	// Huge wire cap on every net → the X1 driver is way over its max cap.
+	st, err := Close(d, Options{Lib: l, Wire: wire(100, 60)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.BuffersAdd == 0 {
+		t.Error("60 fF load on an X1 inverter must trigger buffering")
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNoChangesWhenComfortable(t *testing.T) {
+	l := lib(t)
+	d := mapped(t, "FPU", 0.05)
+	d.TargetClockPs = 50000
+	st, err := Close(d, Options{Lib: l, Wire: wire(5, 0.2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// DRV (max-cap) buffering is timing-independent and may still fire on
+	// high-fanout operand nets; no *timing* moves should be needed.
+	if st.Upsized != 0 {
+		t.Errorf("relaxed design should need no upsizing: %+v", st)
+	}
+	if st.FinalWNS < 0 {
+		t.Error("should be met")
+	}
+}

@@ -1,0 +1,93 @@
+package place
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WriteDEF emits the placement in a DEF-like format (DIEAREA, COMPONENTS
+// with PLACED locations, PINS), the interchange a downstream router or
+// analysis tool consumes. Coordinates use DEF's customary database units of
+// 1000 per micron.
+func (p *Placement) WriteDEF(w io.Writer) error {
+	const dbu = 1000.0
+	bw := bufio.NewWriter(w)
+	d := p.Design
+	fmt.Fprintf(bw, "VERSION 5.8 ;\nDESIGN %s ;\nUNITS DISTANCE MICRONS %d ;\n", d.Name, int(dbu))
+	fmt.Fprintf(bw, "DIEAREA ( %d %d ) ( %d %d ) ;\n",
+		int(p.Die.Lo.X*dbu), int(p.Die.Lo.Y*dbu), int(p.Die.Hi.X*dbu), int(p.Die.Hi.Y*dbu))
+
+	fmt.Fprintf(bw, "COMPONENTS %d ;\n", len(d.Instances))
+	for i := range d.Instances {
+		inst := &d.Instances[i]
+		cell := inst.CellName
+		if cell == "" {
+			cell = inst.Func
+		}
+		fmt.Fprintf(bw, "- %s %s + PLACED ( %d %d ) N ;\n",
+			inst.Name, cell, int(p.X[i]*dbu), int(p.Y[i]*dbu))
+	}
+	bw.WriteString("END COMPONENTS\n")
+
+	names := make([]string, 0, len(p.Ports))
+	for n := range p.Ports {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(bw, "PINS %d ;\n", len(names))
+	for _, n := range names {
+		pt := p.Ports[n]
+		fmt.Fprintf(bw, "- %s + PLACED ( %d %d ) N ;\n", n, int(pt.X*dbu), int(pt.Y*dbu))
+	}
+	bw.WriteString("END PINS\nEND DESIGN\n")
+	return bw.Flush()
+}
+
+// ReadDEFLocations parses a DEF written by WriteDEF and applies the
+// component locations back onto the placement (an ECO-style location
+// restore). Components not present in the design are ignored.
+func (p *Placement) ReadDEFLocations(r io.Reader) error {
+	const dbu = 1000.0
+	byName := map[string]int{}
+	for i := range p.Design.Instances {
+		byName[p.Design.Instances[i].Name] = i
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	inComponents := false
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "COMPONENTS"):
+			inComponents = true
+			continue
+		case line == "END COMPONENTS":
+			inComponents = false
+			continue
+		}
+		if !inComponents || !strings.HasPrefix(line, "- ") {
+			continue
+		}
+		f := strings.Fields(line)
+		// - name cell + PLACED ( x y ) N ;
+		if len(f) < 9 {
+			return fmt.Errorf("place: malformed DEF component %q", line)
+		}
+		idx, ok := byName[f[1]]
+		if !ok {
+			continue
+		}
+		x, err1 := strconv.Atoi(f[6])
+		y, err2 := strconv.Atoi(f[7])
+		if err1 != nil || err2 != nil {
+			return fmt.Errorf("place: bad coordinates in %q", line)
+		}
+		p.X[idx] = float64(x) / dbu
+		p.Y[idx] = float64(y) / dbu
+	}
+	return sc.Err()
+}

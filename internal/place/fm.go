@@ -1,0 +1,250 @@
+package place
+
+import (
+	"math"
+	"sort"
+
+	"tmi3d/internal/geom"
+)
+
+// engine drives the recursive bisection.
+type engine struct {
+	p      *Placement
+	widths []float64
+	noFM   bool
+}
+
+// bisect recursively partitions insts into the region.
+func (e *engine) bisect(insts []int32, region geom.Rect, vertical bool) {
+	// Update position estimates: everything in this region sits at its
+	// center until split further.
+	cx, cy := region.Center().X, region.Center().Y
+	for _, i := range insts {
+		e.p.X[i] = cx
+		e.p.Y[i] = cy
+	}
+	if len(insts) <= 8 || (region.W() < 4*e.p.SiteW && region.H() < 2*e.p.RowH) {
+		e.placeLeaf(insts, region)
+		return
+	}
+	// Split the longer side.
+	vertical = region.W() >= region.H()
+
+	areaA := 0.0
+	total := 0.0
+	for _, i := range insts {
+		total += e.widths[i]
+	}
+	half := total / 2
+
+	// Initial split in instance-index order: the circuit generators emit
+	// structurally-related gates consecutively, so index order is a strong
+	// locality prior that FM then refines.
+	ord := make([]int32, len(insts))
+	copy(ord, insts)
+	sort.Slice(ord, func(a, b int) bool { return ord[a] < ord[b] })
+	side := make(map[int32]bool, len(insts)) // true = B
+	acc := 0.0
+	for _, i := range ord {
+		if acc >= half {
+			side[i] = true
+		} else {
+			areaA += e.widths[i]
+		}
+		acc += e.widths[i]
+	}
+
+	if !e.noFM {
+		e.fmRefine(insts, side, region, vertical, total)
+	}
+
+	var a, bset []int32
+	areaA = 0
+	for _, i := range insts {
+		if side[i] {
+			bset = append(bset, i)
+		} else {
+			a = append(a, i)
+			areaA += e.widths[i]
+		}
+	}
+	frac := areaA / total
+	if frac < 0.1 {
+		frac = 0.1
+	}
+	if frac > 0.9 {
+		frac = 0.9
+	}
+	var ra, rb geom.Rect
+	if vertical {
+		cut := region.Lo.X + frac*region.W()
+		ra = geom.NewRect(region.Lo.X, region.Lo.Y, cut, region.Hi.Y)
+		rb = geom.NewRect(cut, region.Lo.Y, region.Hi.X, region.Hi.Y)
+	} else {
+		cut := region.Lo.Y + frac*region.H()
+		ra = geom.NewRect(region.Lo.X, region.Lo.Y, region.Hi.X, cut)
+		rb = geom.NewRect(region.Lo.X, cut, region.Hi.X, region.Hi.Y)
+	}
+	e.bisect(a, ra, !vertical)
+	e.bisect(bset, rb, !vertical)
+}
+
+// fmRefine improves the initial bipartition with a bounded
+// Fiduccia–Mattheyses pass using anchor-aware cut gains.
+func (e *engine) fmRefine(insts []int32, side map[int32]bool, region geom.Rect, vertical bool, totalArea float64) {
+	d := e.p.Design
+	inRegion := make(map[int32]bool, len(insts))
+	for _, i := range insts {
+		inRegion[i] = true
+	}
+	// Per-net pin counts inside the region plus external anchors.
+	type netState struct {
+		cntA, cntB int
+		ancA, ancB bool
+	}
+	cut := func(r geom.Rect) float64 {
+		if vertical {
+			return r.Center().X
+		}
+		return r.Center().Y
+	}
+	cutPos := cut(region)
+	sideOf := func(pt geom.Point) bool {
+		if vertical {
+			return pt.X >= cutPos
+		}
+		return pt.Y >= cutPos
+	}
+
+	// Collect nets touching the region.
+	netIdx := map[int]*netState{}
+	instNets := make([][]int, 0, len(insts))
+	netList := []int{}
+	for _, i := range insts {
+		var nets []int
+		for _, ni := range e.instancePins(int(i)) {
+			if ni == d.ClockNet {
+				continue
+			}
+			nets = append(nets, ni)
+			if _, ok := netIdx[ni]; !ok {
+				netIdx[ni] = &netState{}
+				netList = append(netList, ni)
+			}
+		}
+		instNets = append(instNets, nets)
+	}
+	pos := map[int32]int{}
+	for k, i := range insts {
+		pos[i] = k
+	}
+	for _, ni := range netList {
+		st := netIdx[ni]
+		visit := func(inst int) {
+			if inst < 0 {
+				return
+			}
+			if inRegion[int32(inst)] {
+				if side[int32(inst)] {
+					st.cntB++
+				} else {
+					st.cntA++
+				}
+			} else {
+				if sideOf(geom.Point{X: e.p.X[inst], Y: e.p.Y[inst]}) {
+					st.ancB = true
+				} else {
+					st.ancA = true
+				}
+			}
+		}
+		net := &d.Nets[ni]
+		if net.Driver.Inst >= 0 {
+			visit(net.Driver.Inst)
+		} else if pt, ok := e.p.Ports[net.Driver.Pin]; ok {
+			if sideOf(pt) {
+				st.ancB = true
+			} else {
+				st.ancA = true
+			}
+		}
+		for _, s := range net.Sinks {
+			if s.Inst >= 0 {
+				visit(s.Inst)
+			} else if pt, ok := e.p.Ports[s.Pin]; ok {
+				if sideOf(pt) {
+					st.ancB = true
+				} else {
+					st.ancA = true
+				}
+			}
+		}
+	}
+
+	// Build the FM core over local ids and run bucket-based passes with
+	// best-prefix rollback.
+	core := newFMCore(len(insts))
+	localNet := map[int]int{}
+	for li, ni := range netList {
+		localNet[ni] = li
+		st := netIdx[ni]
+		core.nets = append(core.nets, fmNet{
+			cnt: [2]int{st.cntA, st.cntB},
+			anc: [2]bool{st.ancA, st.ancB},
+		})
+	}
+	for k, i := range insts {
+		core.side[k] = side[i]
+		core.area[k] = e.widths[i]
+		for _, ni := range instNets[k] {
+			li := localNet[ni]
+			core.cells[k] = append(core.cells[k], int32(li))
+			core.nets[li].pins = append(core.nets[li].pins, int32(k))
+		}
+		if !side[i] {
+			core.areaA += e.widths[i]
+		}
+		core.totArea += e.widths[i]
+	}
+	lo, hi := 0.42*totalArea, 0.58*totalArea
+	for pass := 0; pass < 3; pass++ {
+		if core.runPass(lo, hi) <= 0 {
+			break
+		}
+	}
+	for k, i := range insts {
+		side[i] = core.side[k]
+	}
+}
+
+// instancePins returns the nets an instance touches.
+func (e *engine) instancePins(inst int) []int {
+	pins := e.p.Design.Instances[inst].Pins
+	out := make([]int, 0, len(pins))
+	for _, ni := range pins {
+		out = append(out, ni)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// placeLeaf spreads a handful of cells across the leaf region's rows.
+func (e *engine) placeLeaf(insts []int32, region geom.Rect) {
+	if len(insts) == 0 {
+		return
+	}
+	sort.Slice(insts, func(a, b int) bool { return insts[a] < insts[b] })
+	rows := int(math.Max(1, math.Floor(region.H()/e.p.RowH)))
+	perRow := (len(insts) + rows - 1) / rows
+	for k, i := range insts {
+		r := k / perRow
+		c := k % perRow
+		y := region.Lo.Y + (float64(r)+0.5)*e.p.RowH
+		if y > region.Hi.Y {
+			y = region.Center().Y
+		}
+		x := region.Lo.X + (float64(c)+0.5)*region.W()/float64(perRow)
+		e.p.X[i] = x
+		e.p.Y[i] = y
+	}
+}

@@ -1,0 +1,20 @@
+package report_test
+
+import (
+	"fmt"
+
+	"tmi3d/internal/report"
+)
+
+func ExampleTable() {
+	t := report.New("Power summary", "circuit", "2D mW", "T-MI mW", "delta")
+	t.Add("LDPC", report.F(54.79, 2), report.F(37.22, 2), report.Pct(-32.1))
+	t.Add("DES", report.F(63.88, 2), report.F(61.24, 2), report.Pct(-4.1))
+	fmt.Print(t.String())
+	// Output:
+	// Power summary
+	// circuit  2D mW  T-MI mW  delta
+	// -------------------------------
+	// LDPC     54.79  37.22    -32.1%
+	// DES      63.88  61.24    -4.1%
+}

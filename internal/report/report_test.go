@@ -1,0 +1,57 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := New("Title", "a", "bbbb", "c")
+	tb.Add("x", 1, 2.5)
+	tb.Add("longer", "y", "z")
+	s := tb.String()
+	if !strings.HasPrefix(s, "Title\n") {
+		t.Error("missing title")
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("%d lines:\n%s", len(lines), s)
+	}
+	// Columns align: "bbbb" starts at the same offset in header and rows.
+	off := strings.Index(lines[1], "bbbb")
+	if off < 0 {
+		t.Fatal("missing header")
+	}
+	if lines[3][off] == ' ' && lines[4][off] == ' ' {
+		t.Error("column misaligned")
+	}
+}
+
+func TestAddFormatsFloats(t *testing.T) {
+	tb := New("", "v")
+	tb.Add(3.14159)
+	if !strings.Contains(tb.String(), "3.14") {
+		t.Errorf("float formatting: %s", tb.String())
+	}
+}
+
+func TestRowsWiderThanHeader(t *testing.T) {
+	tb := New("", "only")
+	tb.Add("a", "b", "c")
+	s := tb.String()
+	if !strings.Contains(s, "c") {
+		t.Error("extra columns dropped")
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	if Pct(-32.07) != "-32.1%" {
+		t.Errorf("Pct = %q", Pct(-32.07))
+	}
+	if Pct(4.0) != "+4.0%" {
+		t.Errorf("Pct = %q", Pct(4.0))
+	}
+	if F(1.23456, 2) != "1.23" {
+		t.Errorf("F = %q", F(1.23456, 2))
+	}
+}

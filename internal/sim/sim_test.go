@@ -1,0 +1,105 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"tmi3d/internal/circuits"
+	"tmi3d/internal/flow"
+	"tmi3d/internal/tech"
+)
+
+// The M256 miniature must multiply through the simulator API.
+func TestSimulatorMultiplies(t *testing.T) {
+	d, err := circuits.Generate("M256", 0.004) // 16-bit
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := Vector{}
+	a, b := uint64(31), uint64(77)
+	for i := 0; i < 16; i++ {
+		v[fmt.Sprintf("a%d", i)] = a>>uint(i)&1 == 1
+		v[fmt.Sprintf("b%d", i)] = b>>uint(i)&1 == 1
+	}
+	res, err := Run(d, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got uint64
+	for i := 0; i < 32; i++ {
+		bit, err := res.Output(fmt.Sprintf("p%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bit {
+			got |= 1 << uint(i)
+		}
+	}
+	if got != a*b {
+		t.Fatalf("%d × %d = %d, want %d", a, b, got, a*b)
+	}
+}
+
+// The physical flow must preserve logic: the post-layout netlist (buffers
+// inserted, cells resized) is vector-equivalent to the generated source.
+func TestFlowPreservesLogic(t *testing.T) {
+	src, err := circuits.Generate("DES", 0.07)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := flow.Run(flow.Config{Circuit: "DES", Scale: 0.07, Node: tech.N45, Mode: tech.ModeTMI})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vectors := RandomVectors(src, 4, 99)
+	ok, why, err := Equivalent(src, r.Design, vectors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("flow changed the logic: %s", why)
+	}
+}
+
+func TestNetAndOutputLookup(t *testing.T) {
+	d, err := circuits.Generate("FPU", 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(d, Vector{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := res.Output("nope"); err == nil {
+		t.Error("unknown output should error")
+	}
+	if _, ok := res.Net("definitely_not_a_net"); ok {
+		t.Error("unknown net should report !ok")
+	}
+	if _, ok := res.Net("clk"); !ok {
+		t.Error("clk net should exist")
+	}
+}
+
+func TestRandomVectorsDeterministic(t *testing.T) {
+	d, _ := circuits.Generate("AES", 0.05)
+	a := RandomVectors(d, 3, 7)
+	b := RandomVectors(d, 3, 7)
+	for i := range a {
+		for k, v := range a[i] {
+			if b[i][k] != v {
+				t.Fatal("vectors not deterministic")
+			}
+		}
+	}
+	c := RandomVectors(d, 1, 8)
+	diff := false
+	for k, v := range a[0] {
+		if c[0][k] != v {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Error("different seeds should give different vectors")
+	}
+}

@@ -1,0 +1,60 @@
+package spice
+
+import (
+	"testing"
+
+	"tmi3d/internal/device"
+)
+
+// A cross-coupled inverter pair has two stable operating points; SetGuess
+// must steer the DC solution into the requested basin — the mechanism the
+// DFF characterization relies on.
+func TestSetGuessSelectsLatchState(t *testing.T) {
+	build := func(qGuess float64) *Circuit {
+		c := New()
+		vdd := 1.1
+		c.AddV("vdd", DC(vdd))
+		n := device.PTM45(device.NMOS)
+		p := device.PTM45(device.PMOS)
+		// q = !qb, qb = !q.
+		c.AddMOS(p, 0.63, "q", "qb", "vdd")
+		c.AddMOS(n, 0.415, "q", "qb", Ground)
+		c.AddMOS(p, 0.63, "qb", "q", "vdd")
+		c.AddMOS(n, 0.415, "qb", "q", Ground)
+		c.SetGuess("q", qGuess)
+		c.SetGuess("qb", 1.1-qGuess)
+		return c
+	}
+	for _, want := range []float64{0, 1.1} {
+		c := build(want)
+		res, err := c.Transient(Options{Stop: 50, Step: 0.5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		vq := res.Voltage("q")
+		final := vq[len(vq)-1]
+		if want == 0 && final > 0.2 {
+			t.Errorf("guess 0: latch settled at %.3f", final)
+		}
+		if want > 1 && final < 0.9 {
+			t.Errorf("guess 1.1: latch settled at %.3f", final)
+		}
+	}
+}
+
+// Guesses on fixed (source-driven) nodes are ignored rather than corrupting
+// the solution.
+func TestGuessOnFixedNodeIgnored(t *testing.T) {
+	c := New()
+	c.AddV("s", DC(1.0))
+	c.AddR("s", "a", 1)
+	c.AddR("a", Ground, 1)
+	c.SetGuess("s", -5) // must be ignored
+	res, err := c.Transient(Options{Stop: 5, Step: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := res.Voltage("a")[0]; v < 0.49 || v > 0.51 {
+		t.Errorf("divider = %v, want 0.5", v)
+	}
+}

@@ -1,0 +1,101 @@
+package spice
+
+import (
+	"errors"
+	"math"
+)
+
+// matrix is a small dense square matrix with an LU solver — cell netlists
+// have a few dozen nodes at most, so dense Gaussian elimination with partial
+// pivoting is both simple and fast.
+type matrix struct {
+	n int
+	a []float64
+}
+
+func newMatrix(n int) *matrix {
+	return &matrix{n: n, a: make([]float64, n*n)}
+}
+
+func (m *matrix) zero() {
+	for i := range m.a {
+		m.a[i] = 0
+	}
+}
+
+func (m *matrix) add(i, j int, v float64) {
+	m.a[i*m.n+j] += v
+}
+
+var errSingular = errors.New("spice: singular matrix")
+
+// solve solves M·x = b in place using Gaussian elimination with partial
+// pivoting. M and b are destroyed; the solution is written to x.
+func (m *matrix) solve(b, x []float64) error {
+	n := m.n
+	a := m.a
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	for col := 0; col < n; col++ {
+		// Pivot.
+		best, bestAbs := col, math.Abs(a[col*n+col])
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(a[r*n+col]); v > bestAbs {
+				best, bestAbs = r, v
+			}
+		}
+		if bestAbs < 1e-18 {
+			return errSingular
+		}
+		if best != col {
+			for j := 0; j < n; j++ {
+				a[col*n+j], a[best*n+j] = a[best*n+j], a[col*n+j]
+			}
+			b[col], b[best] = b[best], b[col]
+		}
+		inv := 1 / a[col*n+col]
+		for r := col + 1; r < n; r++ {
+			f := a[r*n+col] * inv
+			if f == 0 {
+				continue
+			}
+			a[r*n+col] = 0
+			for j := col + 1; j < n; j++ {
+				a[r*n+j] -= f * a[col*n+j]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	for r := n - 1; r >= 0; r-- {
+		s := b[r]
+		for j := r + 1; j < n; j++ {
+			s -= a[r*n+j] * x[j]
+		}
+		x[r] = s / a[r*n+r]
+	}
+	return nil
+}
+
+// stampG stamps a conductance g between nodes a and b into the system for
+// free nodes; contributions through fixed nodes move to the RHS.
+func stampG(G *matrix, rhs []float64, row []int, v []float64, a, b int, g float64) {
+	ra, rb := row[a], row[b]
+	if ra >= 0 {
+		G.add(ra, ra, g)
+		if rb >= 0 {
+			G.add(ra, rb, -g)
+		} else {
+			rhs[ra] += g * v[b]
+		}
+	}
+	if rb >= 0 {
+		G.add(rb, rb, g)
+		if ra >= 0 {
+			G.add(rb, ra, -g)
+		} else {
+			rhs[rb] += g * v[a]
+		}
+	}
+}

@@ -1,0 +1,438 @@
+// Package sta implements graph-based static timing analysis over a mapped
+// netlist: NLDM lookups for cell arcs, lumped-Elmore wire delays, slew
+// propagation, and setup checks against the target clock — the sign-off
+// timing role of the paper's flow.
+//
+// The same engine serves every stage by injecting different wire parasitics:
+// wire-load-model estimates during synthesis, bounding-box estimates after
+// placement, and extracted RC after routing.
+package sta
+
+import (
+	"fmt"
+	"math"
+
+	"tmi3d/internal/liberty"
+	"tmi3d/internal/netlist"
+)
+
+// WireRC carries the lumped parasitics of one net.
+type WireRC struct {
+	R float64 // Ω, driver-to-sinks lumped resistance
+	C float64 // fF, wire capacitance
+}
+
+// Env bundles what timing needs besides the netlist.
+type Env struct {
+	Lib *liberty.Library
+	// Wire returns the parasitics of net i.
+	Wire func(net int) WireRC
+	// InputSlew is the slew assumed at primary inputs, ps.
+	InputSlew float64
+	// ClockPs overrides the design target clock when non-zero.
+	ClockPs float64
+}
+
+// Result holds per-net timing plus the summary metrics.
+type Result struct {
+	// Arrival and Slew are indexed by net (at the driver output).
+	Arrival []float64
+	Slew    []float64
+	// Required holds the required arrival time per net; Slack(i) =
+	// Required[i] − Arrival[i].
+	Required []float64
+	// Load is the total capacitive load per net (wire + sink pins), fF.
+	Load []float64
+	// Slack per endpoint net is folded into WNS/TNS.
+	WNS float64
+	TNS float64
+	// HoldWNS is the worst hold slack over sequential endpoints: the
+	// earliest (minimum-delay) arrival must not beat the flop's hold window
+	// after the same clock edge.
+	HoldWNS float64
+	// CriticalNet is the endpoint net with the worst slack.
+	CriticalNet int
+	// ClockPs is the period the analysis checked against.
+	ClockPs float64
+}
+
+// Met reports whether timing closed (WNS ≥ 0).
+func (r *Result) Met() bool { return r.WNS >= 0 }
+
+// cellOf resolves the bound library cell of an instance.
+func cellOf(lib *liberty.Library, inst *netlist.Instance) (*liberty.Cell, error) {
+	name := inst.CellName
+	if name == "" {
+		return nil, fmt.Errorf("sta: instance %q not mapped", inst.Name)
+	}
+	c := lib.Cell(name)
+	if c == nil {
+		return nil, fmt.Errorf("sta: unknown cell %q", name)
+	}
+	return c, nil
+}
+
+// Analyze runs full static timing analysis.
+func Analyze(d *netlist.Design, env Env) (*Result, error) {
+	lib := env.Lib
+	n := len(d.Nets)
+	res := &Result{
+		Arrival: make([]float64, n),
+		Slew:    make([]float64, n),
+		Load:    make([]float64, n),
+		WNS:     math.Inf(1),
+		ClockPs: env.ClockPs,
+	}
+	if res.ClockPs == 0 {
+		res.ClockPs = d.TargetClockPs
+	}
+	inputSlew := env.InputSlew
+	if inputSlew == 0 {
+		inputSlew = 20
+	}
+
+	// Net loads: wire capacitance plus sink pin capacitance.
+	for i := range d.Nets {
+		load := env.Wire(i).C
+		for _, s := range d.Nets[i].Sinks {
+			if s.Inst < 0 {
+				continue
+			}
+			c, err := cellOf(lib, &d.Instances[s.Inst])
+			if err != nil {
+				return nil, err
+			}
+			load += c.PinCap[s.Pin]
+		}
+		res.Load[i] = load
+	}
+
+	order, err := Levelize(d)
+	if err != nil {
+		return nil, err
+	}
+
+	// Startpoints.
+	for i := range res.Arrival {
+		res.Arrival[i] = math.Inf(-1)
+	}
+	for _, ni := range d.PIs {
+		res.Arrival[ni] = 0
+		res.Slew[ni] = inputSlew
+	}
+	if d.ClockNet >= 0 {
+		res.Arrival[d.ClockNet] = 0
+		res.Slew[d.ClockNet] = inputSlew
+	}
+	// Sequential outputs launch at the clock edge.
+	for ii := range d.Instances {
+		inst := &d.Instances[ii]
+		c, err := cellOf(lib, inst)
+		if err != nil {
+			return nil, err
+		}
+		if !c.Seq {
+			continue
+		}
+		qNet, ok := inst.Pins["Q"]
+		if !ok {
+			continue
+		}
+		arc := c.Arc(c.Clock, "Q")
+		if arc == nil {
+			return nil, fmt.Errorf("sta: %s has no %s→Q arc", c.Name, c.Clock)
+		}
+		res.Arrival[qNet] = arc.Delay.At(inputSlew, res.Load[qNet])
+		res.Slew[qNet] = arc.OutSlew.At(inputSlew, res.Load[qNet])
+	}
+
+	// Propagate through combinational instances in topological order.
+	for _, ii := range order {
+		inst := &d.Instances[ii]
+		c, _ := cellOf(lib, inst)
+		if c.Seq {
+			continue
+		}
+		for _, out := range c.Outputs {
+			outNet, ok := inst.Pins[out]
+			if !ok {
+				continue
+			}
+			load := res.Load[outNet]
+			bestArr := math.Inf(-1)
+			bestSlew := 0.0
+			for ai := range c.Arcs {
+				arc := &c.Arcs[ai]
+				if arc.To != out {
+					continue
+				}
+				inNet, ok := inst.Pins[arc.From]
+				if !ok {
+					continue
+				}
+				inArr := res.Arrival[inNet]
+				if math.IsInf(inArr, -1) {
+					continue
+				}
+				inSlew := res.Slew[inNet]
+				// Wire delay from the input net's driver to this pin.
+				w := env.Wire(inNet)
+				wireDelay := w.R * (w.C/2 + res.Load[inNet] - w.C) / 1000 // kΩ·fF→ps
+				if wireDelay < 0 {
+					wireDelay = 0
+				}
+				a := inArr + wireDelay + arc.Delay.At(inSlew, load)
+				if a > bestArr {
+					bestArr = a
+					bestSlew = arc.OutSlew.At(inSlew, load)
+				}
+			}
+			if !math.IsInf(bestArr, -1) {
+				res.Arrival[outNet] = bestArr
+				res.Slew[outNet] = bestSlew
+			}
+		}
+	}
+
+	// Endpoint checks: DFF D pins (setup) and primary outputs.
+	res.CriticalNet = -1
+	check := func(net int, required float64) {
+		a := res.Arrival[net]
+		if math.IsInf(a, -1) {
+			return
+		}
+		w := env.Wire(net)
+		a += w.R * w.C / 2 / 1000
+		slack := required - a
+		if slack < res.WNS {
+			res.WNS = slack
+			res.CriticalNet = net
+		}
+		if slack < 0 {
+			res.TNS += slack
+		}
+	}
+	for ii := range d.Instances {
+		inst := &d.Instances[ii]
+		c, _ := cellOf(lib, inst)
+		if !c.Seq {
+			continue
+		}
+		if dNet, ok := inst.Pins["D"]; ok {
+			check(dNet, res.ClockPs-c.Setup)
+		}
+	}
+	for _, ni := range d.POs {
+		check(ni, res.ClockPs)
+	}
+	if math.IsInf(res.WNS, 1) {
+		res.WNS = res.ClockPs // no endpoints: trivially met
+	}
+
+	// Hold analysis: propagate MINIMUM arrivals (fastest arc per gate, no
+	// wire pessimism) and check each sequential data pin against its hold
+	// requirement. The clock is ideal, so launch and capture edges align.
+	minArr := make([]float64, n)
+	for i := range minArr {
+		minArr[i] = math.Inf(1)
+	}
+	// Primary inputs carry a small default input delay in min analysis (the
+	// usual set_input_delay discipline; a 0 would flag every PI→FF path).
+	const inputDelayMin = 20.0
+	for _, ni := range d.PIs {
+		minArr[ni] = inputDelayMin
+	}
+	if d.ClockNet >= 0 {
+		minArr[d.ClockNet] = 0
+	}
+	for ii := range d.Instances {
+		inst := &d.Instances[ii]
+		c, _ := cellOf(lib, inst)
+		if !c.Seq {
+			continue
+		}
+		if qNet, ok := inst.Pins["Q"]; ok {
+			if arc := c.Arc(c.Clock, "Q"); arc != nil {
+				minArr[qNet] = arc.Delay.At(inputSlew, res.Load[qNet])
+			}
+		}
+	}
+	for _, ii := range order {
+		inst := &d.Instances[ii]
+		c, _ := cellOf(lib, inst)
+		if c.Seq {
+			continue
+		}
+		for _, out := range c.Outputs {
+			outNet, ok := inst.Pins[out]
+			if !ok {
+				continue
+			}
+			best := math.Inf(1)
+			for ai := range c.Arcs {
+				arc := &c.Arcs[ai]
+				if arc.To != out {
+					continue
+				}
+				inNet, ok := inst.Pins[arc.From]
+				if !ok || math.IsInf(minArr[inNet], 1) {
+					continue
+				}
+				if a := minArr[inNet] + arc.Delay.At(res.Slew[inNet], res.Load[outNet]); a < best {
+					best = a
+				}
+			}
+			if !math.IsInf(best, 1) {
+				minArr[outNet] = best
+			}
+		}
+	}
+	res.HoldWNS = math.Inf(1)
+	for ii := range d.Instances {
+		inst := &d.Instances[ii]
+		c, _ := cellOf(lib, inst)
+		if !c.Seq {
+			continue
+		}
+		if dNet, ok := inst.Pins["D"]; ok && !math.IsInf(minArr[dNet], 1) {
+			if slack := minArr[dNet] - c.Hold; slack < res.HoldWNS {
+				res.HoldWNS = slack
+			}
+		}
+	}
+	if math.IsInf(res.HoldWNS, 1) {
+		res.HoldWNS = 0
+	}
+
+	// Backward pass: required times, for slack-driven optimization.
+	res.Required = make([]float64, n)
+	for i := range res.Required {
+		res.Required[i] = math.Inf(1)
+	}
+	setReq := func(net int, req float64) {
+		if req < res.Required[net] {
+			res.Required[net] = req
+		}
+	}
+	for ii := range d.Instances {
+		inst := &d.Instances[ii]
+		c, _ := cellOf(lib, inst)
+		if !c.Seq {
+			continue
+		}
+		if dNet, ok := inst.Pins["D"]; ok {
+			setReq(dNet, res.ClockPs-c.Setup)
+		}
+	}
+	for _, ni := range d.POs {
+		setReq(ni, res.ClockPs)
+	}
+	for k := len(order) - 1; k >= 0; k-- {
+		inst := &d.Instances[order[k]]
+		c, _ := cellOf(lib, inst)
+		if c.Seq {
+			continue
+		}
+		for ai := range c.Arcs {
+			arc := &c.Arcs[ai]
+			outNet, ok := inst.Pins[arc.To]
+			if !ok {
+				continue
+			}
+			inNet, ok := inst.Pins[arc.From]
+			if !ok || math.IsInf(res.Required[outNet], 1) {
+				continue
+			}
+			inSlew := res.Slew[inNet]
+			w := env.Wire(inNet)
+			wireDelay := w.R * (res.Load[inNet] - w.C/2) / 1000
+			if wireDelay < 0 {
+				wireDelay = 0
+			}
+			setReq(inNet, res.Required[outNet]-arc.Delay.At(inSlew, res.Load[outNet])-wireDelay)
+		}
+	}
+	return res, nil
+}
+
+// Slack returns the timing slack of a net (can be +Inf on unconstrained
+// nets).
+func (r *Result) Slack(net int) float64 {
+	if math.IsInf(r.Required[net], 1) || math.IsInf(r.Arrival[net], -1) {
+		return math.Inf(1)
+	}
+	return r.Required[net] - r.Arrival[net]
+}
+
+// Levelize returns instance indices in topological order (combinational
+// logic only; sequential outputs are treated as sources). An error reports a
+// combinational cycle.
+func Levelize(d *netlist.Design) ([]int, error) {
+	// Dependencies: instance depends on the drivers of its input nets.
+	indeg := make([]int, len(d.Instances))
+	dependents := make([][]int32, len(d.Nets))
+	isSeq := make([]bool, len(d.Instances))
+	for ii := range d.Instances {
+		isSeq[ii] = d.Instances[ii].Func == "DFF"
+	}
+	for ii := range d.Instances {
+		if isSeq[ii] {
+			continue
+		}
+		inst := &d.Instances[ii]
+		for pin, ni := range inst.Pins {
+			if isOutputPin(inst.Func, pin) {
+				continue
+			}
+			drv := d.Nets[ni].Driver
+			if drv.Inst >= 0 && !isSeq[drv.Inst] {
+				dependents[ni] = append(dependents[ni], int32(ii))
+				indeg[ii]++
+			}
+		}
+	}
+	queue := make([]int, 0, len(d.Instances))
+	for ii := range d.Instances {
+		if indeg[ii] == 0 {
+			queue = append(queue, ii)
+		}
+	}
+	var order []int
+	for len(queue) > 0 {
+		ii := queue[0]
+		queue = queue[1:]
+		order = append(order, ii)
+		if isSeq[ii] {
+			continue
+		}
+		inst := &d.Instances[ii]
+		for pin, ni := range inst.Pins {
+			if !isOutputPin(inst.Func, pin) {
+				continue
+			}
+			for _, dep := range dependents[ni] {
+				indeg[dep]--
+				if indeg[dep] == 0 {
+					queue = append(queue, int(dep))
+				}
+			}
+		}
+	}
+	if len(order) != len(d.Instances) {
+		return nil, fmt.Errorf("sta: combinational cycle (%d of %d ordered)", len(order), len(d.Instances))
+	}
+	return order, nil
+}
+
+// isOutputPin reports whether the pin is an output for the given function.
+func isOutputPin(fn, pin string) bool {
+	switch pin {
+	case "Z", "Q", "S", "CO":
+		// "S" is an input on MUX2 but the sum output on FA/HA.
+		if pin == "S" && fn == "MUX2" {
+			return false
+		}
+		return true
+	}
+	return false
+}

@@ -1,0 +1,67 @@
+package tech
+
+// ITRSProjection captures the roadmap data the paper quotes for high
+// performance logic devices and interconnects (supplement Table 10). The 45nm
+// figures come from the ITRS 2008 edition and the 7nm figures from ITRS 2011.
+type ITRSProjection struct {
+	Node              Node
+	Year              int
+	DeviceType        string
+	NMOSDriveCurrent  float64 // µA/µm
+	CuEffResistivity  float64 // µΩ·cm, local/intermediate layers
+	CuUnitCapacitance float64 // fF/µm, local/intermediate layers
+}
+
+// ITRS returns the roadmap projection for the given node.
+func ITRS(node Node) ITRSProjection {
+	switch node {
+	case N45:
+		return ITRSProjection{
+			Node: N45, Year: 2010, DeviceType: "bulk Si",
+			NMOSDriveCurrent: 1210, CuEffResistivity: 4.08, CuUnitCapacitance: 0.19,
+		}
+	case N7:
+		return ITRSProjection{
+			Node: N7, Year: 2025, DeviceType: "multi-gate",
+			NMOSDriveCurrent: 2228, CuEffResistivity: 15.02, CuUnitCapacitance: 0.15,
+		}
+	default:
+		panic("tech: unknown node")
+	}
+}
+
+// NodeSetup summarizes the per-node design setup the paper lists in Table 6.
+type NodeSetup struct {
+	Node             Node
+	Transistor       string
+	VDD              float64 // V
+	TransistorLength float64 // drawn, µm
+	TransistorWidth  string  // "varies" (planar) or "fixed" (fins)
+	BEOLDielectricK  float64
+	M2Width          float64 // µm
+	MIVDiameter      float64 // µm
+	ILDThickness     float64 // µm
+	CellHeight       float64 // µm, 2D standard cell
+}
+
+// Setup returns the Table 6 summary row for the given node.
+func Setup(node Node) NodeSetup {
+	switch node {
+	case N45:
+		return NodeSetup{
+			Node: N45, Transistor: "planar", VDD: 1.1,
+			TransistorLength: 0.050, TransistorWidth: "varies",
+			BEOLDielectricK: 2.5, M2Width: 0.070,
+			MIVDiameter: 0.070, ILDThickness: 0.110, CellHeight: 1.4,
+		}
+	case N7:
+		return NodeSetup{
+			Node: N7, Transistor: "multi-gate", VDD: 0.7,
+			TransistorLength: 0.011, TransistorWidth: "fixed",
+			BEOLDielectricK: 2.2, M2Width: 0.0108,
+			MIVDiameter: 0.0108, ILDThickness: 0.050, CellHeight: 0.218,
+		}
+	default:
+		panic("tech: unknown node")
+	}
+}
