@@ -1,0 +1,19 @@
+# Convenience targets; scripts/check.sh is the canonical CI gate.
+.PHONY: check test build fmt lint
+
+check:
+	./scripts/check.sh
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+fmt:
+	gofmt -w cmd internal
+
+# Design-integrity lint over every benchmark, both libraries, and both
+# layout sets (see internal/lint).
+lint:
+	@go run ./cmd/tmi3d lint -all

@@ -6,6 +6,7 @@
 //
 //	tmi3d -circuit AES -node 45 -mode tmi -scale 0.5
 //	tmi3d -circuit LDPC -compare           # run 2D and T-MI, print the diff
+//	tmi3d lint -circuit AES -node 45       # design-integrity lint report
 package main
 
 import (
@@ -20,6 +21,11 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "lint" {
+		log.SetFlags(0)
+		lintMain(os.Args[2:])
+		return
+	}
 	circuit := flag.String("circuit", "AES", "benchmark: FPU, AES, LDPC, DES, M256")
 	nodeF := flag.String("node", "45", "process node: 45 or 7")
 	modeF := flag.String("mode", "2d", "design mode: 2d, tmi, tmim")

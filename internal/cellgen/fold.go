@@ -3,8 +3,38 @@ package cellgen
 import (
 	"math"
 
+	"tmi3d/internal/device"
 	"tmi3d/internal/geom"
 )
+
+// SpanningNets returns the non-supply nets that touch both device tiers in
+// the folded (T-MI) realization of the cell: nets connecting at least one
+// PMOS terminal (bottom tier) and one NMOS terminal (top tier). Each such
+// net needs exactly one MIV — via a direct S/D contact or a regular landing
+// — so len(SpanningNets()) is the layout's expected MIV count.
+func (c *CellDef) SpanningNets() []string {
+	bottom := map[string]bool{}
+	top := map[string]bool{}
+	for _, t := range c.Transistors {
+		tier := top
+		if t.Kind == device.PMOS {
+			tier = bottom
+		}
+		tier[t.Gate] = true
+		tier[t.Drain] = true
+		tier[t.Source] = true
+	}
+	var out []string
+	for _, n := range c.AllNets() {
+		if n == NetVDD || n == NetVSS {
+			continue
+		}
+		if bottom[n] && top[n] {
+			out = append(out, n)
+		}
+	}
+	return out
+}
 
 // GenerateTMI builds the folded transistor-level monolithic 3D layout of a
 // cell (Section 3.1 / Fig 2): PMOS devices move to the bottom tier (PB, CTB,

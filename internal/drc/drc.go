@@ -155,26 +155,12 @@ func Check(l *cellgen.Layout, rules map[string]Rule) []Violation {
 // rectGap returns the edge-to-edge distance between two rectangles (0 when
 // they touch or overlap).
 func rectGap(a, b geom.Rect) float64 {
-	dx := maxf(maxf(a.Lo.X-b.Hi.X, b.Lo.X-a.Hi.X), 0)
-	dy := maxf(maxf(a.Lo.Y-b.Hi.Y, b.Lo.Y-a.Hi.Y), 0)
+	dx := max(a.Lo.X-b.Hi.X, b.Lo.X-a.Hi.X, 0)
+	dy := max(a.Lo.Y-b.Hi.Y, b.Lo.Y-a.Hi.Y, 0)
 	if dx > 0 && dy > 0 {
 		// Corner-to-corner: Euclidean is the honest metric; rule decks often
 		// use it for diagonal spacing.
 		return math.Hypot(dx, dy)
 	}
-	return maxf(dx, dy)
-}
-
-func maxf(a, b float64) float64 {
-	if a > b {
-		return a
-	}
-	return b
-}
-
-func min(a, b float64) float64 {
-	if a < b {
-		return a
-	}
-	return b
+	return max(dx, dy)
 }

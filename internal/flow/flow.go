@@ -17,6 +17,7 @@ import (
 	"tmi3d/internal/circuits"
 	"tmi3d/internal/cts"
 	"tmi3d/internal/liberty"
+	"tmi3d/internal/lint"
 	"tmi3d/internal/netlist"
 	"tmi3d/internal/opt"
 	"tmi3d/internal/place"
@@ -81,6 +82,12 @@ type Config struct {
 	// Activities overrides the switching activity assertions (Fig 11).
 	Activities power.Activities
 	Seed       uint64
+	// Lint controls the design-integrity gates run after synthesis,
+	// placement, and post-route optimization. The zero value enforces:
+	// any Error-severity diagnostic aborts the flow (the Encounter-style
+	// sanity checks of the paper's flow). GateWarnOnly records reports
+	// without failing; GateOff skips the sweeps entirely.
+	Lint lint.GateMode
 }
 
 // Result is one completed flow run.
@@ -115,6 +122,10 @@ type Result struct {
 	// export (Verilog, DEF, snapshots) and further analysis.
 	Design    *netlist.Design
 	Placement *place.Placement
+
+	// LintReports holds the per-stage design-integrity reports (empty when
+	// Config.Lint is GateOff).
+	LintReports []*lint.Report
 }
 
 // circuit generation is deterministic and expensive at scale 1; cache it.
@@ -179,11 +190,34 @@ func Run(cfg Config) (*Result, error) {
 	}
 	model := wlm.BuildForMode(cfg.Node, wlmMode, areaEst/util)
 
+	// Design-integrity gates: the flow lints the mapped netlist at the
+	// stage boundaries where the paper's flow runs Encounter sanity checks,
+	// failing fast on Error-severity diagnostics unless relaxed via
+	// cfg.Lint. The closure re-reads d, which later stages rebind.
+	var lintReports []*lint.Report
+	lintGate := func(stage string) error {
+		if cfg.Lint == lint.GateOff {
+			return nil
+		}
+		rep := lint.CheckDesign(d, lint.DesignOptions{Lib: lib})
+		rep.Subject = fmt.Sprintf("%s/%v/%v %s", cfg.Circuit, cfg.Node, cfg.Mode, stage)
+		lintReports = append(lintReports, rep)
+		if cfg.Lint == lint.GateEnforce {
+			if err := rep.Err(); err != nil {
+				return fmt.Errorf("lint gate %s: %w", stage, err)
+			}
+		}
+		return nil
+	}
+
 	sres, err := synth.Run(d, synth.Options{Lib: lib, WLM: model})
 	if err != nil {
 		return nil, fmt.Errorf("flow %s/%v/%v: synth: %w", cfg.Circuit, cfg.Node, cfg.Mode, err)
 	}
 	d = sres.Design
+	if err := lintGate("post-synth"); err != nil {
+		return nil, err
+	}
 
 	// Reserve headroom for optimization growth (buffers, upsizing) so the
 	// FINAL utilization lands near the target, as the paper's flow does
@@ -202,6 +236,9 @@ func Run(cfg Config) (*Result, error) {
 		Lib: lib, Wire: estWire, Placement: pl, MaxRounds: 8, AreaBudget: areaBudget,
 	})
 	if err != nil {
+		return nil, err
+	}
+	if err := lintGate("post-place"); err != nil {
 		return nil, err
 	}
 
@@ -255,6 +292,9 @@ func Run(cfg Config) (*Result, error) {
 		postStats.Upsized += ecoStats.Upsized
 		postStats.BuffersAdd += ecoStats.BuffersAdd
 	}
+	if err := lintGate("post-route"); err != nil {
+		return nil, err
+	}
 	pow, err := power.Analyze(d, power.Env{
 		Lib: lib, Wire: finalWire, Activities: cfg.Activities, Timing: timing,
 	})
@@ -297,6 +337,7 @@ func Run(cfg Config) (*Result, error) {
 		SynthStats: sres.Stats,
 		WLSamples:  map[int][]float64{},
 	}
+	res.LintReports = lintReports
 	res.TotalWL += clk.Wirelength
 	res.WLByClass[tech.ClassIntermediate] += clk.Wirelength // clock routes on 2x layers
 	res.ClockWL = clk.Wirelength

@@ -2,7 +2,10 @@ package flow
 
 import (
 	"math"
+	"strings"
 	"testing"
+
+	"tmi3d/internal/lint"
 
 	"tmi3d/internal/power"
 	"tmi3d/internal/tech"
@@ -151,5 +154,30 @@ func TestClockTreeAccounted(t *testing.T) {
 	r3 := run(t, Config{Circuit: "AES", Node: tech.N45, Mode: tech.ModeTMI})
 	if r3.ClockWL >= r.ClockWL {
 		t.Errorf("T-MI clock tree %v should be shorter than 2D %v", r3.ClockWL, r.ClockWL)
+	}
+}
+
+// The lint gates run by default at every stage boundary and a clean flow
+// produces three clean reports; GateOff suppresses them entirely.
+func TestLintGates(t *testing.T) {
+	r := run(t, Config{Circuit: "DES", Node: tech.N45, Mode: tech.Mode2D, Scale: 0.1})
+	if len(r.LintReports) != 3 {
+		t.Fatalf("want 3 lint reports (post-synth, post-place, post-route), got %d", len(r.LintReports))
+	}
+	for _, rep := range r.LintReports {
+		if !rep.Clean() {
+			t.Errorf("%s: %d lint errors in a passing flow", rep.Subject, rep.Errors())
+		}
+	}
+	stages := []string{"post-synth", "post-place", "post-route"}
+	for i, rep := range r.LintReports {
+		if !strings.Contains(rep.Subject, stages[i]) {
+			t.Errorf("report %d subject %q, want stage %q", i, rep.Subject, stages[i])
+		}
+	}
+
+	off := run(t, Config{Circuit: "DES", Node: tech.N45, Mode: tech.Mode2D, Scale: 0.1, Lint: lint.GateOff})
+	if len(off.LintReports) != 0 {
+		t.Errorf("GateOff still produced %d reports", len(off.LintReports))
 	}
 }

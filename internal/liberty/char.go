@@ -247,38 +247,62 @@ func buildCircuit(def *cellgen.CellDef, ex *extract.Result, env charEnv) (*spice
 // the internal energy is half the cycle supply energy minus the load energy.
 func simulateArc(def *cellgen.CellDef, ex *extract.Result, arc *cellgen.Arc, env charEnv, slew, load float64) (measurement, error) {
 	vdd := env.vdd
-	c, near, far := buildCircuit(def, ex, env)
-	for _, in := range def.Inputs {
-		if in == arc.From {
-			continue
-		}
-		v := 0.0
-		if arc.Side[in] {
-			v = vdd
-		}
-		c.AddV(near[in], spice.DC(v))
-	}
-	settle := 6*slew + 160 + load*30
 	t0 := 2*slew + 30
-	stop := t0 + 2*settle
 	rise := slew / 0.8 // 10–90% portion of the full-swing ramp = nominal slew
-	c.AddV(near[arc.From], twoEdge{vdd: vdd, t0: t0, t1: t0 + settle, rise: rise})
-	c.AddC(far[arc.To], spice.Ground, load)
-
-	res, err := c.Transient(spice.Options{Stop: stop, Step: simStep(slew, stop)})
-	if err != nil {
-		return measurement{}, err
-	}
-	vin := res.Voltage(near[arc.From])
-	vout := res.Voltage(far[arc.To])
-
 	outRising := !arc.Negated
-	d1, ok1 := edgeDelay(res.Times, vin, vout, vdd, true, outRising, t0-1)
-	s1, _ := spice.SlewTime(res.Times, vout, 0, vdd, outRising, t0-1)
-	d2, ok2 := edgeDelay(res.Times, vin, vout, vdd, false, !outRising, t0+settle-1)
-	s2, _ := spice.SlewTime(res.Times, vout, 0, vdd, !outRising, t0+settle-1)
-	if !ok1 || !ok2 {
-		return measurement{}, fmt.Errorf("output did not transition (cell %s)", def.Name)
+
+	// The inter-edge spacing starts at one nominal settle span and doubles
+	// until both output transitions complete their 10–90% crossings: a tall
+	// series stack at heavy load (NAND3/4 pull-down, NOR3/4 pull-up) can
+	// still be mid-swing when the second input edge arrives, so the output
+	// never reaches the far threshold inside the window. Measurement
+	// failures must never be silently zeroed — averaging a failed edge in
+	// halves the table entry, which is exactly the non-monotone-slew
+	// corruption the lint engine's LIB-MONOTONE rule guards against.
+	var (
+		res      *spice.Result
+		d1, s1   float64
+		d2, s2   float64
+		settle   float64
+		stop     float64
+		complete bool
+	)
+	base := 6*slew + 160 + load*30
+	for settle = base; settle <= 16*base; settle *= 2 {
+		c, near, far := buildCircuit(def, ex, env)
+		for _, in := range def.Inputs {
+			if in == arc.From {
+				continue
+			}
+			v := 0.0
+			if arc.Side[in] {
+				v = vdd
+			}
+			c.AddV(near[in], spice.DC(v))
+		}
+		c.AddV(near[arc.From], twoEdge{vdd: vdd, t0: t0, t1: t0 + settle, rise: rise})
+		c.AddC(far[arc.To], spice.Ground, load)
+		stop = t0 + 2*settle
+		var err error
+		res, err = c.Transient(spice.Options{Stop: stop, Step: simStep(slew, stop)})
+		if err != nil {
+			return measurement{}, err
+		}
+		vin := res.Voltage(near[arc.From])
+		vout := res.Voltage(far[arc.To])
+		var ok1, ok2, ok3, ok4 bool
+		d1, ok1 = edgeDelay(res.Times, vin, vout, vdd, true, outRising, t0-1)
+		s1, ok2 = spice.SlewTime(res.Times, vout, 0, vdd, outRising, t0-1)
+		d2, ok3 = edgeDelay(res.Times, vin, vout, vdd, false, !outRising, t0+settle-1)
+		s2, ok4 = spice.SlewTime(res.Times, vout, 0, vdd, !outRising, t0+settle-1)
+		if ok1 && ok2 && ok3 && ok4 {
+			complete = true
+			break
+		}
+	}
+	if !complete {
+		return measurement{}, fmt.Errorf("output did not complete both transitions (cell %s, arc %s→%s, slew %g, load %g)",
+			def.Name, arc.From, arc.To, slew, load)
 	}
 	eCycle := res.SourceEnergy(0, t0-5, stop)
 	energy := (eCycle - load*vdd*vdd) / 2
@@ -309,47 +333,62 @@ func simulateDFF(def *cellgen.CellDef, ex *extract.Result, env charEnv, slew, lo
 
 func simulateDFFEdge(def *cellgen.CellDef, ex *extract.Result, env charEnv, slew, load float64, dataHigh bool) (measurement, error) {
 	vdd := env.vdd
-	c, near, far := buildCircuit(def, ex, env)
 	dv := 0.0
 	if dataHigh {
 		dv = vdd
 	}
-	c.AddV(near[def.Data], spice.DC(dv))
-	settle := 6*slew + 180 + load*30
 	t0 := 2*slew + 40
-	stop := t0 + 2*settle
 	rise := slew / 0.8
-	c.AddV(near[def.Clock], twoEdge{vdd: vdd, t0: t0, t1: t0 + settle, rise: rise})
-	c.AddC(far["Q"], spice.Ground, load)
 
-	// Break the slave latch's bistability: previous state = !D so Q switches
-	// at the launch edge.
-	prevQ := vdd - dv
-	setBoth := func(net string, v float64) {
-		c.SetGuess(near[net], v)
-		c.SetGuess(far[net], v)
-	}
-	setBoth("s1", vdd-prevQ)
-	setBoth("s2", prevQ)
-	setBoth("sf", vdd-prevQ)
-	setBoth("Q", prevQ)
-	setBoth("m1", dv)
-	setBoth("m2", vdd-dv)
-	setBoth("mf", dv)
-	setBoth("ckb", vdd)
-	setBoth("cki", 0)
+	// As in simulateArc: grow the inter-edge spacing until the launch edge's
+	// output transition fully completes, and never zero-fill a failed slew.
+	var (
+		res     *spice.Result
+		d, s    float64
+		stop    float64
+		ok, okS bool
+	)
+	base := 6*slew + 180 + load*30
+	for settle := base; settle <= 16*base; settle *= 2 {
+		c, near, far := buildCircuit(def, ex, env)
+		c.AddV(near[def.Data], spice.DC(dv))
+		c.AddV(near[def.Clock], twoEdge{vdd: vdd, t0: t0, t1: t0 + settle, rise: rise})
+		c.AddC(far["Q"], spice.Ground, load)
 
-	res, err := c.Transient(spice.Options{Stop: stop, Step: simStep(slew, stop)})
-	if err != nil {
-		return measurement{}, err
+		// Break the slave latch's bistability: previous state = !D so Q
+		// switches at the launch edge.
+		prevQ := vdd - dv
+		setBoth := func(net string, v float64) {
+			c.SetGuess(near[net], v)
+			c.SetGuess(far[net], v)
+		}
+		setBoth("s1", vdd-prevQ)
+		setBoth("s2", prevQ)
+		setBoth("sf", vdd-prevQ)
+		setBoth("Q", prevQ)
+		setBoth("m1", dv)
+		setBoth("m2", vdd-dv)
+		setBoth("mf", dv)
+		setBoth("ckb", vdd)
+		setBoth("cki", 0)
+
+		stop = t0 + 2*settle
+		var err error
+		res, err = c.Transient(spice.Options{Stop: stop, Step: simStep(slew, stop)})
+		if err != nil {
+			return measurement{}, err
+		}
+		vck := res.Voltage(near[def.Clock])
+		vq := res.Voltage(far["Q"])
+		d, ok = edgeDelay(res.Times, vck, vq, vdd, true, dataHigh, t0-1)
+		s, okS = spice.SlewTime(res.Times, vq, 0, vdd, dataHigh, t0-1)
+		if ok && okS {
+			break
+		}
 	}
-	vck := res.Voltage(near[def.Clock])
-	vq := res.Voltage(far["Q"])
-	d, ok := edgeDelay(res.Times, vck, vq, vdd, true, dataHigh, t0-1)
-	if !ok {
-		return measurement{}, fmt.Errorf("DFF Q did not switch (D=%v)", dataHigh)
+	if !ok || !okS {
+		return measurement{}, fmt.Errorf("DFF Q did not switch cleanly (D=%v, slew %g, load %g)", dataHigh, slew, load)
 	}
-	s, _ := spice.SlewTime(res.Times, vq, 0, vdd, dataHigh, t0-1)
 	e := res.SourceEnergy(0, t0-5, stop)
 	if dataHigh {
 		e -= load * vdd * vdd

@@ -1,0 +1,135 @@
+package lint
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"tmi3d/internal/circuits"
+	"tmi3d/internal/liberty"
+	"tmi3d/internal/synth"
+	"tmi3d/internal/tech"
+	"tmi3d/internal/wlm"
+)
+
+var update = flag.Bool("update", false, "rewrite the lint golden report")
+
+// goldenScale keeps the benchmark circuits small enough for CI while
+// preserving their structure (the flow tests use the same scale).
+const goldenScale = 0.15
+
+// goldenEntry is one subject's summary in the committed golden report.
+type goldenEntry struct {
+	Subject  string `json:"subject"`
+	Errors   int    `json:"errors"`
+	Warnings int    `json:"warnings"`
+}
+
+// synthesized generates and technology-maps a benchmark circuit the way the
+// flow does, so the lint subject is a realistic post-synthesis netlist.
+func synthesized(t *testing.T, name string, node tech.Node) (*liberty.Library, *synth.Result) {
+	t.Helper()
+	lib, err := liberty.Default(node, tech.Mode2D)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := circuits.Generate(name, goldenScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock, err := circuits.TargetClockPs(name, node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.TargetClockPs = clock * 4 // relaxed: lint targets structure, not closure
+	area := 0.0
+	for i := range d.Instances {
+		if c := lib.Cell(d.Instances[i].Func + "_X1"); c != nil {
+			area += c.Area
+		}
+	}
+	model := wlm.BuildForMode(node, tech.Mode2D, area/circuits.TargetUtilization(name))
+	res, err := synth.Run(d, synth.Options{Lib: lib, WLM: model})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lib, res
+}
+
+// TestGoldenLintClean lints every benchmark circuit at both nodes plus both
+// cell libraries (also at both nodes) and both layout sets, requires zero
+// Error-severity diagnostics everywhere, and pins the per-subject summary to
+// the committed golden report (refresh with `go test ./internal/lint -update`).
+func TestGoldenLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("synthesizes all benchmarks; skipped in -short mode")
+	}
+	var got []goldenEntry
+	record := func(rep *Report) {
+		t.Helper()
+		if !rep.Clean() {
+			for _, d := range rep.Diags {
+				if d.Severity >= Error {
+					t.Errorf("%s: %s", rep.Subject, d)
+				}
+			}
+		}
+		got = append(got, goldenEntry{rep.Subject, rep.Errors(), rep.Warnings()})
+	}
+
+	for _, node := range []tech.Node{tech.N45, tech.N7} {
+		for _, name := range circuits.Names {
+			lib, res := synthesized(t, name, node)
+			rep := CheckDesign(res.Design, DesignOptions{Lib: lib})
+			rep.Subject = fmt.Sprintf("design %s@%v", name, node)
+			record(rep)
+		}
+		for _, mode := range []tech.Mode{tech.Mode2D, tech.ModeTMI} {
+			lib, err := liberty.Default(node, mode)
+			if err != nil {
+				t.Fatal(err)
+			}
+			record(CheckLibrary(lib))
+		}
+	}
+	for _, mode := range []tech.Mode{tech.Mode2D, tech.ModeTMI} {
+		record(CheckCells(mode))
+	}
+
+	sort.Slice(got, func(i, j int) bool { return got[i].Subject < got[j].Subject })
+	path := filepath.Join("testdata", "golden.json")
+	if *update {
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d subjects)", path, len(got))
+		return
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden report (run with -update): %v", err)
+	}
+	var want []goldenEntry
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("golden has %d subjects, lint produced %d", len(want), len(got))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Errorf("subject %q: got %+v, golden %+v", got[i].Subject, got[i], want[i])
+		}
+	}
+}

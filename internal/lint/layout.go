@@ -1,0 +1,104 @@
+// Layout rules — the Calibre DRC roll-up of the paper's flow plus the T-MI
+// folding invariants of Section 3.1: every procedural layout must be clean
+// under the 45nm rule deck, every folded cell must carry exactly one MIV per
+// tier-spanning net, and the PMOS-bottom/NMOS-top tier convention must hold.
+package lint
+
+import (
+	"fmt"
+
+	"tmi3d/internal/cellgen"
+	"tmi3d/internal/device"
+	"tmi3d/internal/drc"
+	"tmi3d/internal/tech"
+)
+
+// CheckCells generates the full cell library's layouts for a design mode
+// (2D or folded T-MI) and runs the layout rules over each, aggregating the
+// per-cell DRC results library-wide.
+func CheckCells(mode tech.Mode) *Report {
+	rep := NewReport(fmt.Sprintf("cell layouts %v", mode))
+	for _, def := range cellgen.Library() {
+		def := def
+		var lay *cellgen.Layout
+		if mode.Is3D() {
+			lay = cellgen.GenerateTMI(&def)
+		} else {
+			lay = cellgen.Generate2D(&def)
+		}
+		CheckCellLayout(rep, &def, lay)
+	}
+	return rep
+}
+
+// CheckCellLayout runs the layout rules for one cell into an existing
+// report: LAY-DRC always, TMI-MIVCOUNT and TMI-TIER for folded layouts.
+func CheckCellLayout(rep *Report, def *cellgen.CellDef, lay *cellgen.Layout) {
+	where := "cell " + lay.Cell
+	for _, v := range drc.Check(lay, drc.Rules45) {
+		rep.add("LAY-DRC", fmt.Sprintf("%s layer %s", where, v.Layer),
+			"%s at %v %s", v.Kind, v.Where, v.Note)
+	}
+	if !lay.TMI {
+		return
+	}
+
+	// TMI-MIVCOUNT: one MIV per tier-spanning net of the transistor netlist.
+	spanning := def.SpanningNets()
+	if lay.NumMIV != len(spanning) {
+		rep.add("TMI-MIVCOUNT", where,
+			"layout has %d MIVs, netlist expects %d (spanning nets: %s)",
+			lay.NumMIV, len(spanning), joinMax(spanning, 8))
+	}
+
+	// TMI-TIER: terminals must sit on the tier of their device polarity.
+	pNets := map[string]bool{}
+	nNets := map[string]bool{}
+	for _, t := range def.Transistors {
+		tier := nNets
+		if t.Kind == device.PMOS {
+			tier = pNets
+		}
+		tier[t.Gate] = true
+		tier[t.Drain] = true
+		tier[t.Source] = true
+	}
+	for _, t := range lay.Terminals {
+		if t.Bottom && !pNets[t.Net] {
+			rep.add("TMI-TIER", fmt.Sprintf("%s net %s", where, t.Net),
+				"bottom-tier terminal at %v on a net no PMOS touches", t.At)
+		}
+		if !t.Bottom && !nNets[t.Net] {
+			rep.add("TMI-TIER", fmt.Sprintf("%s net %s", where, t.Net),
+				"top-tier terminal at %v on a net no NMOS touches", t.At)
+		}
+	}
+	// Supplies stay on their own tier: VDD feeds PMOS on the bottom, VSS
+	// feeds NMOS on top, and neither may cross through an MIV.
+	vddTop, vssBottom := false, false
+	for _, s := range lay.Shapes {
+		switch s.Layer {
+		case cellgen.LayerMIV, cellgen.LayerMIVD:
+			if s.Net == cellgen.NetVDD || s.Net == cellgen.NetVSS {
+				rep.add("TMI-TIER", fmt.Sprintf("%s net %s", where, s.Net),
+					"supply net crosses tiers through an MIV at %v", s.R)
+			}
+		case cellgen.LayerM1, cellgen.LayerPoly, cellgen.LayerCT:
+			if s.Net == cellgen.NetVDD {
+				vddTop = true
+			}
+		case cellgen.LayerMB1, cellgen.LayerPolyB, cellgen.LayerCTB:
+			if s.Net == cellgen.NetVSS {
+				vssBottom = true
+			}
+		}
+	}
+	if vddTop {
+		rep.add("TMI-TIER", fmt.Sprintf("%s net %s", where, cellgen.NetVDD),
+			"VDD geometry on the top tier (PMOS rail belongs to the bottom tier)")
+	}
+	if vssBottom {
+		rep.add("TMI-TIER", fmt.Sprintf("%s net %s", where, cellgen.NetVSS),
+			"VSS geometry on the bottom tier (NMOS rail belongs to the top tier)")
+	}
+}

@@ -174,33 +174,146 @@ func (d *Design) Stats() Stats {
 	return s
 }
 
-// Validate checks structural invariants: every net has exactly one driver,
-// every instance pin refers to a valid net, no dangling sinks.
-func (d *Design) Validate() error {
-	for i, n := range d.Nets {
+// Violation kinds reported by Violations.
+const (
+	// KindNoDriver marks a net whose Driver was never set.
+	KindNoDriver = "no-driver"
+	// KindBadSink marks a sink referencing an out-of-range instance.
+	KindBadSink = "bad-sink"
+	// KindNoPins marks an instance with an empty pin map.
+	KindNoPins = "no-pins"
+	// KindBadPin marks an instance pin referencing an out-of-range net.
+	KindBadPin = "bad-pin"
+	// KindUnlistedPin marks an instance pin whose net records it neither as
+	// the driver nor as a sink — the fingerprint of an overwritten driver
+	// (two outputs bound to one net).
+	KindUnlistedPin = "unlisted-pin"
+	// KindBadPort marks a PI/PO port map entry that disagrees with its
+	// net's connectivity.
+	KindBadPort = "bad-port"
+)
+
+// Violation is one structural-integrity violation. Net and Inst are indices
+// into Nets/Instances, or -1 when not applicable.
+type Violation struct {
+	Kind string
+	Net  int
+	Inst int
+	Msg  string
+}
+
+func (v Violation) String() string { return v.Msg }
+
+// Violations checks the structural invariants — every net has exactly one
+// recorded driver, every pin and sink index is in range, every instance pin
+// appears on its net, port maps agree with net connectivity — and returns
+// every violation found. It is the structural sweep behind the lint engine's
+// ERC-STRUCT rule (implemented here rather than in internal/lint so Validate
+// can share it without an import cycle).
+func (d *Design) Violations() []Violation {
+	var out []Violation
+	for i := range d.Nets {
+		n := &d.Nets[i]
 		if n.Driver.Inst == -2 {
-			return fmt.Errorf("net %q (%d) has no driver", n.Name, i)
+			out = append(out, Violation{KindNoDriver, i, -1,
+				fmt.Sprintf("net %q (%d) has no driver", n.Name, i)})
 		}
 		// Nets with no sinks are legal: generators leave unused carries
 		// and helper nets dangling, exactly as RTL does before synthesis
 		// pruning. They carry no timing endpoints and no switching load.
 		for _, s := range n.Sinks {
 			if s.Inst >= len(d.Instances) {
-				return fmt.Errorf("net %q sink instance %d out of range", n.Name, s.Inst)
+				out = append(out, Violation{KindBadSink, i, s.Inst,
+					fmt.Sprintf("net %q sink instance %d out of range", n.Name, s.Inst)})
 			}
 		}
 	}
-	for i, inst := range d.Instances {
+	// Per-net connection sets, to verify every instance pin is recorded on
+	// its net (as driver or sink). An unlisted pin means the net's driver
+	// was overwritten — e.g. two outputs bound to the same net.
+	onNet := make(map[PinRef]bool, len(d.Nets)*2)
+	for i := range d.Nets {
+		onNet[d.Nets[i].Driver] = true
+		for _, s := range d.Nets[i].Sinks {
+			onNet[s] = true
+		}
+	}
+	for i := range d.Instances {
+		inst := &d.Instances[i]
 		if len(inst.Pins) == 0 {
-			return fmt.Errorf("instance %q (%d) has no pins", inst.Name, i)
+			out = append(out, Violation{KindNoPins, -1, i,
+				fmt.Sprintf("instance %q (%d) has no pins", inst.Name, i)})
+			continue
 		}
 		for pin, ni := range inst.Pins {
 			if ni < 0 || ni >= len(d.Nets) {
-				return fmt.Errorf("instance %q pin %s: net %d out of range", inst.Name, pin, ni)
+				out = append(out, Violation{KindBadPin, ni, i,
+					fmt.Sprintf("instance %q pin %s: net %d out of range", inst.Name, pin, ni)})
+				continue
+			}
+			if !onNet[PinRef{Inst: i, Pin: pin}] {
+				out = append(out, Violation{KindUnlistedPin, ni, i,
+					fmt.Sprintf("instance %q pin %s not recorded on net %q (driver overwritten?)",
+						inst.Name, pin, d.Nets[ni].Name)})
 			}
 		}
 	}
-	return nil
+	for _, port := range sortedKeys(d.PIs) {
+		ni := d.PIs[port]
+		if ni < 0 || ni >= len(d.Nets) {
+			out = append(out, Violation{KindBadPort, ni, -1,
+				fmt.Sprintf("primary input %q: net %d out of range", port, ni)})
+			continue
+		}
+		if drv := d.Nets[ni].Driver; drv != (PinRef{Inst: -1, Pin: port}) {
+			out = append(out, Violation{KindBadPort, ni, -1,
+				fmt.Sprintf("primary input %q is not the driver of net %q", port, d.Nets[ni].Name)})
+		}
+	}
+	for _, port := range sortedKeys(d.POs) {
+		ni := d.POs[port]
+		if ni < 0 || ni >= len(d.Nets) {
+			out = append(out, Violation{KindBadPort, ni, -1,
+				fmt.Sprintf("primary output %q: net %d out of range", port, ni)})
+			continue
+		}
+		sunk := false
+		for _, s := range d.Nets[ni].Sinks {
+			if s == (PinRef{Inst: -1, Pin: port}) {
+				sunk = true
+				break
+			}
+		}
+		if !sunk {
+			out = append(out, Violation{KindBadPort, ni, -1,
+				fmt.Sprintf("primary output %q is not a sink of net %q", port, d.Nets[ni].Name)})
+		}
+	}
+	return out
+}
+
+// Validate is the thin error wrapper over Violations kept for existing
+// callers: it reports every structural violation in one error, or nil when
+// the design is clean.
+func (d *Design) Validate() error {
+	vs := d.Violations()
+	if len(vs) == 0 {
+		return nil
+	}
+	msg := vs[0].Msg
+	for _, v := range vs[1:] {
+		msg += "; " + v.Msg
+	}
+	return fmt.Errorf("netlist %s: %d structural violations: %s", d.Name, len(vs), msg)
+}
+
+func sortedKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // SortedPIs returns primary input names, sorted (deterministic iteration).

@@ -1,6 +1,9 @@
 package netlist
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 func sample() *Design {
 	d := New("t")
@@ -144,5 +147,65 @@ func TestSortedPIsDeterministic(t *testing.T) {
 		if a[i-1] >= a[i] {
 			t.Fatal("SortedPIs not sorted")
 		}
+	}
+}
+
+func TestViolationsReportsAll(t *testing.T) {
+	d := New("bad")
+	d.AddInstance("g1", "INV", map[string]string{"A": "floating", "Z": "z"}, "Z")
+	d.AddInstance("g2", "INV", map[string]string{"A": "floating2", "Z": "z2"}, "Z")
+	vs := d.Violations()
+	if len(vs) != 2 {
+		t.Fatalf("want 2 violations, got %d: %v", len(vs), vs)
+	}
+	for _, v := range vs {
+		if v.Kind != KindNoDriver {
+			t.Errorf("kind = %q, want %q", v.Kind, KindNoDriver)
+		}
+	}
+	// Validate aggregates every violation into one error.
+	err := d.Validate()
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	for _, want := range []string{"floating", "floating2", "2 structural violations"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
+		}
+	}
+}
+
+func TestViolationsUnlistedPin(t *testing.T) {
+	d := New("bad")
+	d.AddPI("a", "a")
+	d.AddInstance("g1", "INV", map[string]string{"A": "a", "Z": "x"}, "Z")
+	// Second driver overwrites the net's Driver, leaving g1.Z unlisted.
+	d.AddInstance("g2", "INV", map[string]string{"A": "a", "Z": "x"}, "Z")
+	d.AddPO("out", "x")
+	found := false
+	for _, v := range d.Violations() {
+		if v.Kind == KindUnlistedPin {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("driver overwrite should leave an unlisted pin: %v", d.Violations())
+	}
+}
+
+func TestViolationsBadSink(t *testing.T) {
+	d := New("bad")
+	d.AddPI("a", "a")
+	d.AddInstance("g1", "INV", map[string]string{"A": "a", "Z": "x"}, "Z")
+	d.AddPO("out", "x")
+	d.Nets[d.NetByName("x")].Sinks = append(d.Nets[d.NetByName("x")].Sinks, PinRef{Inst: 42, Pin: "A"})
+	found := false
+	for _, v := range d.Violations() {
+		if v.Kind == KindBadSink {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("out-of-range sink should be flagged: %v", d.Violations())
 	}
 }

@@ -552,23 +552,64 @@ func CrossTime(times, wave []float64, threshold float64, rising bool, tMin float
 
 // SlewTime returns the 10%–90% transition time of the waveform between vLow
 // and vHigh supply rails, for the first full transition after tMin.
+//
+// The window is anchored on the transition's 50% crossing: the start is the
+// LAST 10% (falling: 90%) crossing before the mid crossing and the end is
+// the first 90% (10%) crossing after it. Anchoring matters for stacked
+// gates (NAND3/4, NOR3/4): Miller kickback through the switching input's
+// gate–drain capacitance displaces the output across the 10% threshold long
+// before the true transition at light loads, and taking that first crossing
+// inflates the measured slew — which is how non-monotone (decreasing with
+// load) slew tables got into the characterized libraries before the lint
+// engine's LIB-MONOTONE rule caught them.
 func SlewTime(times, wave []float64, vLow, vHigh float64, rising bool, tMin float64) (float64, bool) {
-	lo := vLow + 0.1*(vHigh-vLow)
-	hi := vLow + 0.9*(vHigh-vLow)
-	if rising {
-		t1, ok1 := CrossTime(times, wave, lo, true, tMin)
-		t2, ok2 := CrossTime(times, wave, hi, true, tMin)
-		if ok1 && ok2 && t2 > t1 {
-			return t2 - t1, true
-		}
+	first := vLow + 0.1*(vHigh-vLow)
+	last := vLow + 0.9*(vHigh-vLow)
+	if !rising {
+		first, last = last, first
+	}
+	mid := vLow + 0.5*(vHigh-vLow)
+	tMid, ok := CrossTime(times, wave, mid, rising, tMin)
+	if !ok {
 		return 0, false
 	}
-	t1, ok1 := CrossTime(times, wave, hi, false, tMin)
-	t2, ok2 := CrossTime(times, wave, lo, false, tMin)
-	if ok1 && ok2 && t2 > t1 {
+	t1, ok := lastCrossBefore(times, wave, first, rising, tMin, tMid)
+	if !ok {
+		return 0, false
+	}
+	t2, ok := CrossTime(times, wave, last, rising, tMid)
+	if ok && t2 > t1 {
 		return t2 - t1, true
 	}
 	return 0, false
+}
+
+// lastCrossBefore returns the latest crossing of threshold in (tMin, tMax],
+// in the given direction.
+func lastCrossBefore(times, wave []float64, threshold float64, rising bool, tMin, tMax float64) (float64, bool) {
+	t, found := 0.0, false
+	for k := 1; k < len(times); k++ {
+		if times[k] < tMin {
+			continue
+		}
+		if times[k-1] > tMax {
+			break
+		}
+		a, b := wave[k-1], wave[k]
+		var crossed bool
+		if rising {
+			crossed = a < threshold && b >= threshold
+		} else {
+			crossed = a > threshold && b <= threshold
+		}
+		if crossed {
+			f := (threshold - a) / (b - a)
+			if tc := times[k-1] + f*(times[k]-times[k-1]); tc <= tMax {
+				t, found = tc, true
+			}
+		}
+	}
+	return t, found
 }
 
 // SourceEnergy integrates the energy delivered BY source j between t0 and t1

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Static-analysis and test gate for the repository: formatting, go vet,
+# build, and the full test suite under the race detector. CI and pre-commit
+# both run this; it must exit non-zero on any failure.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== gofmt"
+unformatted=$(gofmt -l cmd internal)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet"
+go vet ./...
+
+echo "== go build"
+go build ./...
+
+echo "== go test -race"
+go test -race ./...
+
+echo "check.sh: all clean"
