@@ -1,5 +1,5 @@
 # Convenience targets; scripts/check.sh is the canonical CI gate.
-.PHONY: check test build fmt lint
+.PHONY: check test build fmt lint equiv
 
 check:
 	./scripts/check.sh
@@ -17,3 +17,8 @@ fmt:
 # layout sets (see internal/lint).
 lint:
 	@go run ./cmd/tmi3d lint -all
+
+# Formal equivalence sign-off: LEC over every benchmark plus the
+# switch-level check of the folded T-MI library (see internal/equiv).
+equiv:
+	@go run ./cmd/tmi3d equiv -all

@@ -16,6 +16,7 @@ import (
 
 	"tmi3d/internal/circuits"
 	"tmi3d/internal/core"
+	"tmi3d/internal/equiv"
 	"tmi3d/internal/liberty"
 	"tmi3d/internal/place"
 	"tmi3d/internal/route"
@@ -319,4 +320,68 @@ func BenchmarkAblationTMIWLM(b *testing.B) {
 			}
 		}
 	}
+}
+
+// BenchmarkEquiv measures the formal sign-off cost on the DES mapped netlist:
+// AIG compilation, register correspondence, and structural proof of every
+// compare point (a clean synthesis run needs zero SAT calls).
+func BenchmarkEquiv(b *testing.B) {
+	lib, err := liberty.Default(tech.N45, tech.Mode2D)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := circuits.Generate("DES", 0.15)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sr, err := synth.Run(d, synth.Options{Lib: lib, WLM: wlm.BuildForMode(tech.N45, tech.Mode2D, 60000)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		rep, err := equiv.Check(d, sr.Design, equiv.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rep.Equivalent() {
+			b.Fatal(rep.Err())
+		}
+		b.ReportMetric(float64(rep.Points), "compare-points")
+		b.ReportMetric(float64(rep.Structural), "structural")
+	}
+}
+
+// BenchmarkSAT measures the CDCL core on the canonical UNSAT stress test:
+// the pigeonhole principle with 8 pigeons and 7 holes, which has no short
+// resolution proof and so exercises clause learning, VSIDS and restarts.
+func BenchmarkSAT(b *testing.B) {
+	const holes = 7
+	var conflicts int64
+	for i := 0; i < b.N; i++ {
+		s := equiv.NewSolver()
+		vars := make([][]int, holes+1)
+		for p := range vars {
+			vars[p] = make([]int, holes)
+			for h := range vars[p] {
+				vars[p][h] = s.NewVar()
+			}
+			cl := make([]equiv.SLit, holes)
+			for h := range vars[p] {
+				cl[h] = equiv.MkSLit(vars[p][h], false)
+			}
+			s.AddClause(cl...)
+		}
+		for h := 0; h < holes; h++ {
+			for p1 := 0; p1 <= holes; p1++ {
+				for p2 := p1 + 1; p2 <= holes; p2++ {
+					s.AddClause(equiv.MkSLit(vars[p1][h], true), equiv.MkSLit(vars[p2][h], true))
+				}
+			}
+		}
+		if s.Solve() {
+			b.Fatal("pigeonhole must be UNSAT")
+		}
+		conflicts = s.Stats.Conflicts
+	}
+	b.ReportMetric(float64(conflicts), "conflicts")
 }

@@ -36,7 +36,7 @@ func lintMain(args []string) {
 	cells := fs.Bool("cells", false, "also lint the 2D and folded T-MI cell layouts")
 	all := fs.Bool("all", false, "lint every benchmark plus libraries and layouts")
 	format := fs.String("format", "json", "report format: json or text")
-	corrupt := fs.String("corrupt", "", "comma list of defects to inject post-synthesis: multidrive, loop, float")
+	corrupt := fs.String("corrupt", "", "comma list of defects to inject post-synthesis: multidrive, loop, float, swapgate, dropinv")
 	fs.Parse(args)
 
 	node := tech.N45
@@ -202,8 +202,57 @@ func injectDefect(d *netlist.Design, kind string) error {
 			return nil
 		}
 		return fmt.Errorf("corrupt float: no instance with inputs found")
+	case "swapgate":
+		// Swap a gate for its dual (AND2↔OR2, NAND2↔NOR2). Pin names and
+		// drive-strength sets are identical, so every ERC and library rule
+		// still passes — only formal equivalence checking catches it.
+		duals := map[string]string{"AND2": "OR2", "OR2": "AND2", "NAND2": "NOR2", "NOR2": "NAND2"}
+		for i := range d.Instances {
+			inst := &d.Instances[i]
+			dual, ok := duals[inst.Func]
+			if !ok {
+				continue
+			}
+			if inst.CellName != "" {
+				inst.CellName = dual + strings.TrimPrefix(inst.CellName, inst.Func)
+			}
+			inst.Func = dual
+			return nil
+		}
+		return fmt.Errorf("corrupt swapgate: no two-input AND/OR-family gate found")
+	case "dropinv":
+		// Delete an inverter and reconnect its sinks to its input — the
+		// netlist stays fully connected and ERC-clean (the dangling output
+		// net is removed too), but the logic is complemented downstream.
+		for i := range d.Instances {
+			inst := &d.Instances[i]
+			if inst.Func != "INV" {
+				continue
+			}
+			an, zn := inst.Pins["A"], inst.Pins["Z"]
+			onlyGates := true
+			for _, s := range d.Nets[zn].Sinks {
+				if s.Inst < 0 {
+					onlyGates = false // keep PO rewiring out of the picture
+					break
+				}
+			}
+			if !onlyGates || len(d.Nets[zn].Sinks) == 0 {
+				continue
+			}
+			for _, s := range append([]netlist.PinRef(nil), d.Nets[zn].Sinks...) {
+				removeSink(&d.Nets[zn], s)
+				d.Instances[s.Inst].Pins[s.Pin] = an
+				d.Nets[an].Sinks = append(d.Nets[an].Sinks, s)
+			}
+			if err := d.RemoveInstance(i); err != nil {
+				return err
+			}
+			return d.RemoveNet(zn)
+		}
+		return fmt.Errorf("corrupt dropinv: no droppable inverter found")
 	}
-	return fmt.Errorf("unknown corruption %q (want multidrive, loop, float)", kind)
+	return fmt.Errorf("unknown corruption %q (want multidrive, loop, float, swapgate, dropinv)", kind)
 }
 
 // outputPin returns an instance's first template output pin and its net.

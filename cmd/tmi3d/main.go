@@ -7,6 +7,7 @@
 //	tmi3d -circuit AES -node 45 -mode tmi -scale 0.5
 //	tmi3d -circuit LDPC -compare           # run 2D and T-MI, print the diff
 //	tmi3d lint -circuit AES -node 45       # design-integrity lint report
+//	tmi3d equiv -circuit AES -node 45      # formal equivalence sign-off report
 package main
 
 import (
@@ -24,6 +25,11 @@ func main() {
 	if len(os.Args) > 1 && os.Args[1] == "lint" {
 		log.SetFlags(0)
 		lintMain(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "equiv" {
+		log.SetFlags(0)
+		equivMain(os.Args[2:])
 		return
 	}
 	circuit := flag.String("circuit", "AES", "benchmark: FPU, AES, LDPC, DES, M256")

@@ -1,0 +1,92 @@
+package equiv
+
+// Tseitin encoding of AIG miter cones into CNF. Only the transitive fanin
+// cone of the asserted literals is encoded, so a local miter stays local no
+// matter how large the shared AIG has grown.
+
+// cnfBuilder maps AIG nodes of one cone onto solver variables.
+type cnfBuilder struct {
+	g   *AIG
+	s   *Solver
+	v   map[uint32]int // AIG node index → solver variable
+	rev []uint32       // solver variable → AIG node index
+}
+
+func newCNF(g *AIG) *cnfBuilder {
+	return &cnfBuilder{g: g, s: NewSolver(), v: map[uint32]int{}}
+}
+
+// varOf returns (creating on demand) the solver variable of an AIG node.
+func (b *cnfBuilder) varOf(n uint32) int {
+	if v, ok := b.v[n]; ok {
+		return v
+	}
+	v := b.s.NewVar()
+	b.v[n] = v
+	b.rev = append(b.rev, n)
+	return v
+}
+
+// slit converts an AIG literal to a solver literal.
+func (b *cnfBuilder) slit(l Lit) SLit {
+	return MkSLit(b.varOf(l.node()), l.inverted())
+}
+
+// encodeCone emits the AND-gate clauses for the whole fanin cone of lits.
+func (b *cnfBuilder) encodeCone(lits []Lit) {
+	for _, n := range b.g.cone(lits) {
+		node := &b.g.nodes[n]
+		if node.kind != kindAnd {
+			continue
+		}
+		v := MkSLit(b.varOf(n), false)
+		a := b.slit(node.f0)
+		c := b.slit(node.f1)
+		// v ↔ a ∧ c
+		b.s.AddClause(v.Not(), a)
+		b.s.AddClause(v.Not(), c)
+		b.s.AddClause(v, a.Not(), c.Not())
+	}
+}
+
+// assert adds a unit clause making the AIG literal true. Constant literals
+// are handled directly (asserting constant-false makes the formula UNSAT).
+func (b *cnfBuilder) assert(l Lit) {
+	if l == ConstTrue {
+		return
+	}
+	if l == ConstFalse {
+		b.s.unsat = true
+		return
+	}
+	b.s.AddClause(b.slit(l))
+}
+
+// solveMiter checks whether a ≠ b is satisfiable. It returns (true, model)
+// with the model keyed by AIG PI ordinal when a distinguishing assignment
+// exists, or (false, nil) when the cones are proven equivalent. PIs outside
+// the encoded cone default to false in the model. The miter literal is built
+// first so its Tseitin cone includes the XOR structure itself; when the AIG
+// collapses the XOR to a constant the answer needs no SAT call at all.
+func solveMiter(g *AIG, a, b Lit) (sat bool, model map[int]bool, s *Solver) {
+	m := g.Xor(a, b)
+	switch m {
+	case ConstFalse:
+		return false, nil, nil // structurally identical
+	case ConstTrue:
+		return true, map[int]bool{}, nil // differ everywhere; any input works
+	}
+	cb := newCNF(g)
+	cb.encodeCone([]Lit{m})
+	cb.assert(m)
+	if !cb.s.Solve() {
+		return false, nil, cb.s
+	}
+	model = map[int]bool{}
+	for v, n := range cb.rev {
+		if pi := g.PIIndex(Lit(n << 1)); pi >= 0 {
+			model[pi] = cb.s.Value(v)
+		}
+	}
+	return true, model, cb.s
+}

@@ -1,0 +1,95 @@
+package equiv
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"tmi3d/internal/cellgen"
+	"tmi3d/internal/device"
+)
+
+// TestCheckLibraryClean verifies the generated library passes the switch-
+// level check: every combinational cell's transistor network implements its
+// 2D base function and keeps a tier-spanning output in the folded form.
+func TestCheckLibraryClean(t *testing.T) {
+	rep := CheckLibrary()
+	if err := rep.Err(); err != nil {
+		buf := &bytes.Buffer{}
+		rep.WriteText(buf)
+		t.Fatalf("library not clean:\n%s", buf.String())
+	}
+	if rep.Checked == 0 {
+		t.Fatal("no cells checked")
+	}
+	if len(rep.Skipped) == 0 {
+		t.Fatal("expected DFFs to be skipped as sequential")
+	}
+	for _, name := range rep.Skipped {
+		if !strings.HasPrefix(name, "DFF") {
+			t.Errorf("non-sequential cell skipped: %s", name)
+		}
+	}
+}
+
+// TestSwitchEvalCatchesDefects corrupts an inverter's transistor network in
+// the three ways the checker must distinguish: wrong polarity (short), a
+// dropped device (float), and swapped rails (inverted function).
+func TestSwitchEvalCatchesDefects(t *testing.T) {
+	inv, _ := cellgen.Template("INV")
+
+	// Wrong polarity: make both devices NMOS → A=1 shorts, A=0 floats.
+	bad := inv
+	bad.Transistors = append([]cellgen.Transistor(nil), inv.Transistors...)
+	for i := range bad.Transistors {
+		bad.Transistors[i].Kind = device.NMOS
+	}
+	rep := &LibReport{}
+	checkCell(rep, &bad)
+	if len(rep.Issues) == 0 {
+		t.Error("all-NMOS inverter passed the switch check")
+	}
+
+	// Dropped pull-up: output floats for A=0.
+	bad2 := inv
+	for _, tr := range inv.Transistors {
+		if tr.Kind == device.NMOS {
+			bad2.Transistors = []cellgen.Transistor{tr}
+		}
+	}
+	rep2 := &LibReport{}
+	checkCell(rep2, &bad2)
+	found := false
+	for _, is := range rep2.Issues {
+		if strings.Contains(is.Detail, "floats") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("dropped pull-up not reported as float: %v", rep2.Issues)
+	}
+
+	// Swapped rails: the network computes a buffer, not an inverter.
+	bad3 := inv
+	bad3.Transistors = append([]cellgen.Transistor(nil), inv.Transistors...)
+	for i := range bad3.Transistors {
+		tr := &bad3.Transistors[i]
+		switch tr.Source {
+		case cellgen.NetVDD:
+			tr.Source = cellgen.NetVSS
+		case cellgen.NetVSS:
+			tr.Source = cellgen.NetVDD
+		}
+	}
+	rep3 := &LibReport{}
+	checkCell(rep3, &bad3)
+	found = false
+	for _, is := range rep3.Issues {
+		if strings.Contains(is.Detail, "resolves to") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("rail swap not reported as wrong function: %v", rep3.Issues)
+	}
+}

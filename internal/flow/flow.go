@@ -16,6 +16,7 @@ import (
 	"tmi3d/internal/captable"
 	"tmi3d/internal/circuits"
 	"tmi3d/internal/cts"
+	"tmi3d/internal/equiv"
 	"tmi3d/internal/liberty"
 	"tmi3d/internal/lint"
 	"tmi3d/internal/netlist"
@@ -88,6 +89,14 @@ type Config struct {
 	// sanity checks of the paper's flow). GateWarnOnly records reports
 	// without failing; GateOff skips the sweeps entirely.
 	Lint lint.GateMode
+	// Equiv controls the formal sign-off gates (the Conformal/Formality box
+	// of Fig 1): logical equivalence checks after every netlist-transforming
+	// stage — post-synth vs the generated source, post-place vs post-synth,
+	// post-route vs post-place — plus a once-per-process switch-level check
+	// of the folded cell library. The zero value enforces: any disproved
+	// compare point aborts the flow. GateWarnOnly records reports without
+	// failing; GateOff skips the checks.
+	Equiv lint.GateMode
 }
 
 // Result is one completed flow run.
@@ -126,6 +135,12 @@ type Result struct {
 	// LintReports holds the per-stage design-integrity reports (empty when
 	// Config.Lint is GateOff).
 	LintReports []*lint.Report
+	// EquivReports holds the per-stage equivalence-check reports (empty when
+	// Config.Equiv is GateOff).
+	EquivReports []*equiv.Report
+	// LibCheck is the switch-level library verification result (nil when
+	// Config.Equiv is GateOff).
+	LibCheck *equiv.LibReport
 }
 
 // circuit generation is deterministic and expensive at scale 1; cache it.
@@ -133,6 +148,20 @@ var (
 	genMu    sync.Mutex
 	genCache = map[string]*netlist.Design{}
 )
+
+// The folded library's transistor networks are mode- and node-independent
+// (liberty scaling only touches electrical data), so one switch-level
+// verification covers every flow run in the process.
+var (
+	libCheckOnce sync.Once
+	libCheckRep  *equiv.LibReport
+)
+
+// LibraryCheck returns the cached switch-level library verification.
+func LibraryCheck() *equiv.LibReport {
+	libCheckOnce.Do(func() { libCheckRep = equiv.CheckLibrary() })
+	return libCheckRep
+}
 
 func generated(name string, scale float64) (*netlist.Design, error) {
 	key := fmt.Sprintf("%s@%.4f", name, scale)
@@ -210,6 +239,39 @@ func Run(cfg Config) (*Result, error) {
 		return nil
 	}
 
+	// Formal sign-off gates (Fig 1's Conformal/Formality box): every stage
+	// that rewrites the netlist must prove it preserved the logic. The
+	// reference advances with the flow — each stage is checked against the
+	// previous stage's snapshot, so a failure names the guilty stage.
+	var equivReports []*equiv.Report
+	var libCheck *equiv.LibReport
+	if cfg.Equiv != lint.GateOff {
+		libCheck = LibraryCheck()
+		if cfg.Equiv == lint.GateEnforce {
+			if err := libCheck.Err(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	equivGate := func(stage string, ref *netlist.Design) error {
+		if cfg.Equiv == lint.GateOff {
+			return nil
+		}
+		rep, err := equiv.Check(ref, d, equiv.Options{Seed: cfg.Seed})
+		if err != nil {
+			return fmt.Errorf("equiv gate %s: %w", stage, err)
+		}
+		rep.Subject = fmt.Sprintf("%s/%v/%v %s", cfg.Circuit, cfg.Node, cfg.Mode, stage)
+		equivReports = append(equivReports, rep)
+		if cfg.Equiv == lint.GateEnforce {
+			if err := rep.Err(); err != nil {
+				return fmt.Errorf("equiv gate %s: %w", stage, err)
+			}
+		}
+		return nil
+	}
+
+	ref := d // generated source netlist, reference for the post-synth check
 	sres, err := synth.Run(d, synth.Options{Lib: lib, WLM: model})
 	if err != nil {
 		return nil, fmt.Errorf("flow %s/%v/%v: synth: %w", cfg.Circuit, cfg.Node, cfg.Mode, err)
@@ -217,6 +279,12 @@ func Run(cfg Config) (*Result, error) {
 	d = sres.Design
 	if err := lintGate("post-synth"); err != nil {
 		return nil, err
+	}
+	if err := equivGate("post-synth vs source", ref); err != nil {
+		return nil, err
+	}
+	if cfg.Equiv != lint.GateOff {
+		ref = d.Clone()
 	}
 
 	// Reserve headroom for optimization growth (buffers, upsizing) so the
@@ -240,6 +308,12 @@ func Run(cfg Config) (*Result, error) {
 	}
 	if err := lintGate("post-place"); err != nil {
 		return nil, err
+	}
+	if err := equivGate("post-place vs post-synth", ref); err != nil {
+		return nil, err
+	}
+	if cfg.Equiv != lint.GateOff {
+		ref = d.Clone()
 	}
 
 	// Routing and extraction.
@@ -295,6 +369,9 @@ func Run(cfg Config) (*Result, error) {
 	if err := lintGate("post-route"); err != nil {
 		return nil, err
 	}
+	if err := equivGate("post-route vs post-place", ref); err != nil {
+		return nil, err
+	}
 	pow, err := power.Analyze(d, power.Env{
 		Lib: lib, Wire: finalWire, Activities: cfg.Activities, Timing: timing,
 	})
@@ -338,6 +415,8 @@ func Run(cfg Config) (*Result, error) {
 		WLSamples:  map[int][]float64{},
 	}
 	res.LintReports = lintReports
+	res.EquivReports = equivReports
+	res.LibCheck = libCheck
 	res.TotalWL += clk.Wirelength
 	res.WLByClass[tech.ClassIntermediate] += clk.Wirelength // clock routes on 2x layers
 	res.ClockWL = clk.Wirelength

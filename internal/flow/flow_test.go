@@ -181,3 +181,35 @@ func TestLintGates(t *testing.T) {
 		t.Errorf("GateOff still produced %d reports", len(off.LintReports))
 	}
 }
+
+func TestEquivGates(t *testing.T) {
+	r := run(t, Config{Circuit: "DES", Node: tech.N45, Mode: tech.Mode2D, Scale: 0.1})
+	if len(r.EquivReports) != 3 {
+		t.Fatalf("want 3 equiv reports (post-synth, post-place, post-route), got %d", len(r.EquivReports))
+	}
+	stages := []string{"post-synth vs source", "post-place vs post-synth", "post-route vs post-place"}
+	for i, rep := range r.EquivReports {
+		if !rep.Equivalent() {
+			t.Errorf("%s: flow stage disproved: %v", rep.Subject, rep.Err())
+		}
+		if !strings.Contains(rep.Subject, stages[i]) {
+			t.Errorf("report %d subject %q, want stage %q", i, rep.Subject, stages[i])
+		}
+		// The flow's transformations are buffer/sizing only, so the shared
+		// AIG must close every point structurally — zero SAT calls.
+		if rep.BySAT != 0 {
+			t.Errorf("%s: %d points needed SAT in a logic-neutral flow", rep.Subject, rep.BySAT)
+		}
+	}
+	if r.LibCheck == nil {
+		t.Fatal("library check not run")
+	}
+	if err := r.LibCheck.Err(); err != nil {
+		t.Errorf("library check: %v", err)
+	}
+
+	off := run(t, Config{Circuit: "DES", Node: tech.N45, Mode: tech.Mode2D, Scale: 0.1, Equiv: lint.GateOff})
+	if len(off.EquivReports) != 0 || off.LibCheck != nil {
+		t.Errorf("GateOff still produced %d equiv reports (libcheck=%v)", len(off.EquivReports), off.LibCheck)
+	}
+}

@@ -363,6 +363,106 @@ func (d *Design) InsertBuffer(net int, moved []PinRef, fn, cellName string) (new
 	return newNet, instIdx
 }
 
+// RemoveInstance deletes an instance, disconnecting every pin from its net
+// first, then swap-filling the hole with the last instance (all net PinRefs
+// to the moved instance are renumbered). Indices other than the removed one
+// and the last one stay valid.
+func (d *Design) RemoveInstance(i int) error {
+	if i < 0 || i >= len(d.Instances) {
+		return fmt.Errorf("netlist: remove instance %d out of range", i)
+	}
+	for pin, ni := range d.Instances[i].Pins {
+		if ni < 0 || ni >= len(d.Nets) {
+			continue
+		}
+		ref := PinRef{Inst: i, Pin: pin}
+		n := &d.Nets[ni]
+		if n.Driver == ref {
+			n.Driver = PinRef{Inst: -2}
+		} else {
+			removeSinkRef(n, ref)
+		}
+	}
+	last := len(d.Instances) - 1
+	if i != last {
+		d.Instances[i] = d.Instances[last]
+		for pin, ni := range d.Instances[i].Pins {
+			if ni < 0 || ni >= len(d.Nets) {
+				continue
+			}
+			n := &d.Nets[ni]
+			old := PinRef{Inst: last, Pin: pin}
+			if n.Driver == old {
+				n.Driver = PinRef{Inst: i, Pin: pin}
+			}
+			for k := range n.Sinks {
+				if n.Sinks[k] == old {
+					n.Sinks[k] = PinRef{Inst: i, Pin: pin}
+				}
+			}
+		}
+	}
+	d.Instances = d.Instances[:last]
+	return nil
+}
+
+// RemoveNet deletes a net that no pin references anymore (disconnect the
+// driver and sinks first — e.g. via RemoveInstance). The hole is swap-filled
+// with the last net and every reference to the moved net (instance pins,
+// port maps, clock, name index) is renumbered.
+func (d *Design) RemoveNet(ni int) error {
+	if ni < 0 || ni >= len(d.Nets) {
+		return fmt.Errorf("netlist: remove net %d out of range", ni)
+	}
+	n := &d.Nets[ni]
+	if n.Driver.Inst >= 0 || n.Driver.Inst == -1 || len(n.Sinks) > 0 {
+		return fmt.Errorf("netlist: net %q still connected (driver %v, %d sinks)",
+			n.Name, n.Driver, len(n.Sinks))
+	}
+	if d.ClockNet == ni {
+		return fmt.Errorf("netlist: cannot remove the clock net %q", n.Name)
+	}
+	delete(d.netIndex, n.Name)
+	last := len(d.Nets) - 1
+	if ni != last {
+		moved := d.Nets[last]
+		d.Nets[ni] = moved
+		d.netIndex[moved.Name] = ni
+		if moved.Driver.Inst >= 0 {
+			d.Instances[moved.Driver.Inst].Pins[moved.Driver.Pin] = ni
+		}
+		for _, s := range moved.Sinks {
+			if s.Inst >= 0 {
+				d.Instances[s.Inst].Pins[s.Pin] = ni
+			}
+		}
+		for port, pn := range d.PIs {
+			if pn == last {
+				d.PIs[port] = ni
+			}
+		}
+		for port, pn := range d.POs {
+			if pn == last {
+				d.POs[port] = ni
+			}
+		}
+		if d.ClockNet == last {
+			d.ClockNet = ni
+		}
+	}
+	d.Nets = d.Nets[:last]
+	return nil
+}
+
+func removeSinkRef(n *Net, ref PinRef) {
+	for k := range n.Sinks {
+		if n.Sinks[k] == ref {
+			n.Sinks = append(n.Sinks[:k], n.Sinks[k+1:]...)
+			return
+		}
+	}
+}
+
 // Clone deep-copies the design (used to branch 2D vs T-MI implementations
 // from one synthesized netlist).
 func (d *Design) Clone() *Design {

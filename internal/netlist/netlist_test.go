@@ -209,3 +209,87 @@ func TestViolationsBadSink(t *testing.T) {
 		t.Errorf("out-of-range sink should be flagged: %v", d.Violations())
 	}
 }
+
+func TestRemoveInstance(t *testing.T) {
+	d := sample()
+	// Drop the inverter g2 (index 1); the DFF (last) swap-fills its slot.
+	inv := 1
+	n1, n2 := d.NetByName("n1"), d.NetByName("n2")
+	if err := d.RemoveInstance(inv); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Instances) != 2 {
+		t.Fatalf("instances = %d, want 2", len(d.Instances))
+	}
+	if d.Instances[inv].Name != "ff" {
+		t.Fatalf("swap-fill put %q at index %d", d.Instances[inv].Name, inv)
+	}
+	// n1 lost its sink, n2 lost its driver; the renumbered DFF pins must be
+	// consistent with the nets.
+	if d.Nets[n1].Fanout() != 0 {
+		t.Errorf("n1 fanout = %d after removing its sink", d.Nets[n1].Fanout())
+	}
+	if d.Nets[n2].Driver.Inst != -2 {
+		t.Errorf("n2 driver = %+v, want none", d.Nets[n2].Driver)
+	}
+	if q := d.NetByName("q"); d.Nets[q].Driver != (PinRef{Inst: inv, Pin: "Q"}) {
+		t.Errorf("q driver not renumbered: %+v", d.Nets[q].Driver)
+	}
+	// Remaining violations must be exactly the expected disconnections (n2
+	// now undriven), not renumbering damage.
+	for _, v := range d.Violations() {
+		if v.Kind != KindNoDriver {
+			t.Errorf("unexpected violation after removal: %s", v.Msg)
+		}
+	}
+}
+
+func TestRemoveNet(t *testing.T) {
+	d := sample()
+	// Disconnect and remove n2 (between INV and DFF): rewire the DFF D pin
+	// to n1 first, as the dropinv corruption does.
+	n1, n2 := d.NetByName("n1"), d.NetByName("n2")
+	ff := 2
+	removeSinkRef(&d.Nets[n2], PinRef{Inst: ff, Pin: "D"})
+	d.Instances[ff].Pins["D"] = n1
+	d.Nets[n1].Sinks = append(d.Nets[n1].Sinks, PinRef{Inst: ff, Pin: "D"})
+
+	if err := d.RemoveNet(n2); err == nil {
+		t.Fatal("RemoveNet should refuse while the INV still drives n2")
+	}
+	if err := d.RemoveInstance(1); err != nil { // drop the INV
+		t.Fatal(err)
+	}
+	n2 = d.NetByName("n2")
+	if err := d.RemoveNet(n2); err != nil {
+		t.Fatal(err)
+	}
+	if d.NetByName("n2") != -1 {
+		t.Error("n2 still indexed after removal")
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatalf("design not clean after remove: %v", err)
+	}
+	// The swapped-in net keeps its name index and connectivity.
+	for name, ni := range map[string]int{"n1": d.NetByName("n1"), "q": d.NetByName("q"), "clk": d.NetByName("clk")} {
+		if ni < 0 || d.Nets[ni].Name != name {
+			t.Errorf("net %q index broken after swap-fill", name)
+		}
+	}
+	if d.ClockNet != d.NetByName("clk") {
+		t.Errorf("clock net index stale: %d vs %d", d.ClockNet, d.NetByName("clk"))
+	}
+}
+
+func TestRemoveNetRefusesConnected(t *testing.T) {
+	d := sample()
+	if err := d.RemoveNet(d.NetByName("n1")); err == nil {
+		t.Error("connected net removed")
+	}
+	if err := d.RemoveNet(d.NetByName("a")); err == nil {
+		t.Error("PI-driven net removed")
+	}
+	if err := d.RemoveNet(d.ClockNet); err == nil {
+		t.Error("clock net removed")
+	}
+}

@@ -7,9 +7,11 @@
 package opt
 
 import (
+	"fmt"
 	"math"
 	"sort"
 
+	"tmi3d/internal/cellgen"
 	"tmi3d/internal/liberty"
 	"tmi3d/internal/netlist"
 	"tmi3d/internal/place"
@@ -47,6 +49,13 @@ type Options struct {
 	// may push the design beyond it, mirroring the placement-density limit
 	// a real optimizer works under. Zero means unlimited.
 	AreaBudget float64
+	// DebugChecks enables logic-preservation assertions after every buffer
+	// insertion: the inserted cell must be non-inverting (net polarity), the
+	// split nets must each have exactly one recorded driver, no sink may be
+	// lost, and the buffer must land inside the die. The equivalence-backed
+	// optimizer regression tests run with this on; production flows leave it
+	// off and rely on the flow-level equiv gates.
+	DebugChecks bool
 }
 
 // Stats summarizes what the optimizer did.
@@ -92,7 +101,11 @@ func Close(d *netlist.Design, opt Options) (*Stats, error) {
 		if err != nil {
 			return nil, err
 		}
-		if fixMaxCap(d, opt, res, st, area) == 0 {
+		n, err := fixMaxCap(d, opt, res, st, area)
+		if err != nil {
+			return nil, err
+		}
+		if n == 0 {
 			break
 		}
 	}
@@ -105,9 +118,12 @@ func Close(d *netlist.Design, opt Options) (*Stats, error) {
 		if res.Met() {
 			break
 		}
-		changed := 0
-		changed += upsizeWorst(d, opt.Lib, res, st, area)
-		changed += bufferLongNets(d, opt, res, st, area)
+		changed := upsizeWorst(d, opt.Lib, res, st, area)
+		buffered, err := bufferLongNets(d, opt, res, st, area)
+		if err != nil {
+			return nil, err
+		}
+		changed += buffered
 		if changed == 0 {
 			break
 		}
@@ -150,7 +166,7 @@ func Close(d *netlist.Design, opt Options) (*Stats, error) {
 }
 
 // fixMaxCap buffers nets whose load exceeds the driver's max capacitance.
-func fixMaxCap(d *netlist.Design, opt Options, res *sta.Result, st *Stats, area *areaTracker) int {
+func fixMaxCap(d *netlist.Design, opt Options, res *sta.Result, st *Stats, area *areaTracker) (int, error) {
 	changed := 0
 	numNets := len(d.Nets)
 	for ni := 0; ni < numNets; ni++ {
@@ -169,9 +185,15 @@ func fixMaxCap(d *netlist.Design, opt Options, res *sta.Result, st *Stats, area 
 		if len(moved) == 0 || !area.allow(opt.Lib.MustCell(opt.BufferCell).Area) {
 			continue
 		}
+		prevFanout := len(d.Nets[ni].Sinks)
 		newNet, instIdx := d.InsertBuffer(ni, moved, "BUF", opt.BufferCell)
 		if opt.Placement != nil {
 			placeBuffer(opt.Placement, newNet, instIdx)
+		}
+		if opt.DebugChecks {
+			if err := checkBufferInsertion(d, opt, ni, newNet, instIdx, prevFanout); err != nil {
+				return changed, err
+			}
 		}
 		if opt.NetChanged != nil {
 			opt.NetChanged(ni)
@@ -180,7 +202,7 @@ func fixMaxCap(d *netlist.Design, opt Options, res *sta.Result, st *Stats, area 
 		st.BuffersAdd++
 		changed++
 	}
-	return changed
+	return changed, nil
 }
 
 // upsizeWorst increases drive strength on drivers of negative-slack nets.
@@ -225,7 +247,7 @@ func upsizeWorst(d *netlist.Design, lib *liberty.Library, res *sta.Result, st *S
 
 // bufferLongNets inserts buffers on critical nets whose wire delay is large:
 // the buffer is placed at the sink centroid, cutting the driver's RC load.
-func bufferLongNets(d *netlist.Design, opt Options, res *sta.Result, st *Stats, area *areaTracker) int {
+func bufferLongNets(d *netlist.Design, opt Options, res *sta.Result, st *Stats, area *areaTracker) (int, error) {
 	type cand struct {
 		net   int
 		delay float64
@@ -259,9 +281,15 @@ func bufferLongNets(d *netlist.Design, opt Options, res *sta.Result, st *Stats, 
 		if len(moved) == 0 || !area.allow(opt.Lib.MustCell(opt.BufferCell).Area) {
 			continue
 		}
+		prevFanout := len(d.Nets[ni].Sinks)
 		newNet, instIdx := d.InsertBuffer(ni, moved, "BUF", opt.BufferCell)
 		if opt.Placement != nil {
 			placeBuffer(opt.Placement, newNet, instIdx)
+		}
+		if opt.DebugChecks {
+			if err := checkBufferInsertion(d, opt, ni, newNet, instIdx, prevFanout); err != nil {
+				return changed, err
+			}
 		}
 		if opt.NetChanged != nil {
 			opt.NetChanged(ni)
@@ -270,7 +298,66 @@ func bufferLongNets(d *netlist.Design, opt Options, res *sta.Result, st *Stats, 
 		st.BuffersAdd++
 		changed++
 	}
-	return changed
+	return changed, nil
+}
+
+// checkBufferInsertion asserts a just-inserted buffer preserved the logic of
+// the net it split (Options.DebugChecks). A buffer that inverts, double-drives
+// a net, or drops a sink changes downstream logic in ways timing analysis
+// never notices — the equivalence gates would catch it at the end of the
+// stage, but this names the exact insertion that went wrong.
+func checkBufferInsertion(d *netlist.Design, opt Options, origNet, newNet, instIdx, prevFanout int) error {
+	inst := &d.Instances[instIdx]
+	def, ok := cellgen.Template(inst.Func)
+	if !ok || def.Seq || def.Logic == nil || len(def.Inputs) != 1 || len(def.Outputs) != 1 {
+		return fmt.Errorf("opt: inserted %s %q is not a single-input combinational cell", inst.Func, inst.Name)
+	}
+	// Polarity: the cell must compute identity on both input values.
+	if def.Logic([]bool{false})[0] || !def.Logic([]bool{true})[0] {
+		return fmt.Errorf("opt: inserted cell %s %q inverts — net polarity not preserved", inst.Func, inst.Name)
+	}
+	// Driver uniqueness: the buffer is the sole recorded driver of the new
+	// net, and it did not steal the original net's driver.
+	if want := (netlist.PinRef{Inst: instIdx, Pin: "Z"}); d.Nets[newNet].Driver != want {
+		return fmt.Errorf("opt: net %q driver is %+v, want buffer %q pin Z",
+			d.Nets[newNet].Name, d.Nets[newNet].Driver, inst.Name)
+	}
+	if drv := d.Nets[origNet].Driver; drv.Inst == instIdx {
+		return fmt.Errorf("opt: buffer %q drives its own input net %q", inst.Name, d.Nets[origNet].Name)
+	}
+	// Connectivity: the buffer input must be a recorded sink of the original
+	// net, and every moved sink's pin must point at the new net.
+	bufIn := false
+	for _, s := range d.Nets[origNet].Sinks {
+		if s == (netlist.PinRef{Inst: instIdx, Pin: "A"}) {
+			bufIn = true
+			break
+		}
+	}
+	if !bufIn {
+		return fmt.Errorf("opt: buffer %q input not recorded as sink of net %q", inst.Name, d.Nets[origNet].Name)
+	}
+	for _, s := range d.Nets[newNet].Sinks {
+		if s.Inst >= 0 && d.Instances[s.Inst].Pins[s.Pin] != newNet {
+			return fmt.Errorf("opt: moved sink %+v of net %q still references net %d",
+				s, d.Nets[newNet].Name, d.Instances[s.Inst].Pins[s.Pin])
+		}
+	}
+	// Fanout conservation: original sinks minus the buffer input plus the
+	// moved sinks must equal the pre-insertion fanout — no sink lost or
+	// duplicated.
+	if got := len(d.Nets[origNet].Sinks) - 1 + len(d.Nets[newNet].Sinks); got != prevFanout {
+		return fmt.Errorf("opt: buffering net %q changed fanout %d → %d",
+			d.Nets[origNet].Name, prevFanout, got)
+	}
+	// Placement sanity: the buffer must land inside the die.
+	if p := opt.Placement; p != nil {
+		x, y := p.X[instIdx], p.Y[instIdx]
+		if x < p.Die.Lo.X || x > p.Die.Hi.X || y < p.Die.Lo.Y || y > p.Die.Hi.Y {
+			return fmt.Errorf("opt: buffer %q placed at (%.2f, %.2f) outside die", inst.Name, x, y)
+		}
+	}
+	return nil
 }
 
 // fartherHalf picks the sinks farthest from the driver (by placement when

@@ -1,9 +1,11 @@
 package opt
 
 import (
+	"strings"
 	"testing"
 
 	"tmi3d/internal/circuits"
+	"tmi3d/internal/equiv"
 	"tmi3d/internal/liberty"
 	"tmi3d/internal/netlist"
 	"tmi3d/internal/sta"
@@ -125,6 +127,73 @@ func TestMaxCapBuffering(t *testing.T) {
 	}
 	if err := d.Validate(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// Every benchmark, optimized under pressure with the debug assertions on,
+// must stay formally equivalent to its pre-optimization netlist — and since
+// buffers are identity functions, the proof must close structurally, with
+// zero SAT calls.
+func TestOptimizerPreservesLogic(t *testing.T) {
+	l := lib(t)
+	buffered := 0
+	for _, name := range circuits.Names {
+		t.Run(name, func(t *testing.T) {
+			d := mapped(t, name, 0.04)
+			d.TargetClockPs = 900
+			before := d.Clone()
+			// Heavy wire parasitics force both max-cap and timing buffering.
+			st, err := Close(d, Options{Lib: l, Wire: wire(60, 8), DebugChecks: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			buffered += st.BuffersAdd
+			if err := d.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			rep, err := equiv.Check(before, d, equiv.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.Equivalent() {
+				t.Fatalf("optimizer changed logic of %s: %v", name, rep.Err())
+			}
+			if rep.BySAT != 0 {
+				t.Errorf("buffer-only transform should prove structurally, needed %d SAT calls", rep.BySAT)
+			}
+		})
+	}
+	if buffered == 0 {
+		t.Error("regression exercised no buffer insertions — tighten the setup")
+	}
+}
+
+// The debug assertions must actually fire on a logic-corrupting insertion.
+func TestDebugChecksCatchInverter(t *testing.T) {
+	d := netlist.New("bad")
+	d.AddPI("a", "a")
+	d.AddInstance("g", "INV", map[string]string{"A": "a", "Z": "n"}, "Z")
+	d.AddInstance("s1", "INV", map[string]string{"A": "n", "Z": "z1"}, "Z")
+	d.AddInstance("s2", "INV", map[string]string{"A": "n", "Z": "z2"}, "Z")
+	d.AddPO("o1", "z1")
+	d.AddPO("o2", "z2")
+	d.SetClock("clk")
+	ni := d.Instances[0].Pins["Z"]
+	prev := len(d.Nets[ni].Sinks)
+	moved := []netlist.PinRef{{Inst: 2, Pin: "A"}}
+	// "Repeater" that is actually an inverter: polarity check must fire.
+	newNet, instIdx := d.InsertBuffer(ni, moved, "INV", "INV_X1")
+	err := checkBufferInsertion(d, Options{}, ni, newNet, instIdx, prev)
+	if err == nil || !strings.Contains(err.Error(), "inverts") {
+		t.Fatalf("inverting insertion not caught: %v", err)
+	}
+
+	// And a clean insertion passes.
+	prev = len(d.Nets[ni].Sinks)
+	moved = []netlist.PinRef{{Inst: 1, Pin: "A"}}
+	newNet, instIdx = d.InsertBuffer(ni, moved, "BUF", "BUF_X4")
+	if err := checkBufferInsertion(d, Options{}, ni, newNet, instIdx, prev); err != nil {
+		t.Fatalf("clean insertion rejected: %v", err)
 	}
 }
 

@@ -41,6 +41,15 @@ func (r *Result) Net(name string) (bool, bool) {
 	return r.vals[ni], true
 }
 
+// Values returns the evaluated value of every net, indexed like d.Nets —
+// the raw data the equivalence checker's counterexample diagnosis walks to
+// find the first diverging net.
+func (r *Result) Values() []bool {
+	out := make([]bool, len(r.vals))
+	copy(out, r.vals)
+	return out
+}
+
 // Run evaluates the design for one input vector.
 func Run(d *netlist.Design, in Vector) (*Result, error) {
 	vals := make([]bool, len(d.Nets))
@@ -71,6 +80,80 @@ func Run(d *netlist.Design, in Vector) (*Result, error) {
 					changed = true
 				}
 				continue
+			}
+			def, ok := cellgen.Template(inst.Func)
+			if !ok {
+				return nil, fmt.Errorf("sim: no logic for function %q", inst.Func)
+			}
+			ready := true
+			args := make([]bool, len(def.Inputs))
+			for k, pin := range def.Inputs {
+				ni, ok := inst.Pins[pin]
+				if !ok || !have[ni] {
+					ready = false
+					break
+				}
+				args[k] = vals[ni]
+			}
+			if !ready {
+				continue
+			}
+			outs := def.Logic(args)
+			for k, pin := range def.Outputs {
+				ni, ok := inst.Pins[pin]
+				if !ok {
+					continue
+				}
+				if !have[ni] || vals[ni] != outs[k] {
+					vals[ni], have[ni] = outs[k], true
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return &Result{d: d, vals: vals}, nil
+}
+
+// RunCycle evaluates one clock cycle with explicit sequential state: every
+// DFF output Q is forced from state (keyed by DFF instance name, missing
+// entries default to false) and DFFs do not propagate D→Q. This is the
+// single-cycle semantics the equivalence checker's register-correspondence
+// cut uses, so a SAT counterexample over (inputs, state) replays exactly.
+// Each DFF's next state is its D net value in the result.
+func RunCycle(d *netlist.Design, in Vector, state Vector) (*Result, error) {
+	vals := make([]bool, len(d.Nets))
+	have := make([]bool, len(d.Nets))
+	for name, ni := range d.PIs {
+		switch name {
+		case "tie0":
+			have[ni] = true
+		case "tie1":
+			vals[ni], have[ni] = true, true
+		case "clk":
+			have[ni] = true
+		default:
+			vals[ni] = in[name]
+			have[ni] = true
+		}
+	}
+	for ii := range d.Instances {
+		inst := &d.Instances[ii]
+		if inst.Func != "DFF" {
+			continue
+		}
+		if qn, ok := inst.Pins["Q"]; ok {
+			vals[qn], have[qn] = state[inst.Name], true
+		}
+	}
+	for pass := 0; pass < len(d.Instances)+10; pass++ {
+		changed := false
+		for ii := range d.Instances {
+			inst := &d.Instances[ii]
+			if inst.Func == "DFF" {
+				continue // state is held, not propagated
 			}
 			def, ok := cellgen.Template(inst.Func)
 			if !ok {

@@ -22,4 +22,13 @@ go build ./...
 echo "== go test -race"
 go test -race ./...
 
+echo "== equiv smoke"
+# Formal sign-off must prove the smallest benchmark's mapped netlist and pass
+# the switch-level library check — and must catch an injected logic defect.
+go run ./cmd/tmi3d equiv -circuit FPU -scale 0.1 -lib -format text
+if go run ./cmd/tmi3d equiv -circuit FPU -scale 0.1 -corrupt swapgate >/dev/null; then
+    echo "equiv failed to detect injected swapgate corruption" >&2
+    exit 1
+fi
+
 echo "check.sh: all clean"
