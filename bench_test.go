@@ -10,6 +10,7 @@ package tmi3d_test
 
 import (
 	"os"
+	"runtime"
 	"strconv"
 	"sync"
 	"testing"
@@ -17,6 +18,7 @@ import (
 	"tmi3d/internal/circuits"
 	"tmi3d/internal/core"
 	"tmi3d/internal/equiv"
+	"tmi3d/internal/flow"
 	"tmi3d/internal/liberty"
 	"tmi3d/internal/place"
 	"tmi3d/internal/route"
@@ -30,17 +32,19 @@ var (
 	study     *core.Study
 )
 
+func benchScale() float64 {
+	scale := 0.15
+	if s := os.Getenv("TMI3D_SCALE"); s != "" {
+		if v, err := strconv.ParseFloat(s, 64); err == nil && v > 0 {
+			scale = v
+		}
+	}
+	return scale
+}
+
 func benchStudy(b *testing.B) *core.Study {
 	b.Helper()
-	studyOnce.Do(func() {
-		scale := 0.15
-		if s := os.Getenv("TMI3D_SCALE"); s != "" {
-			if v, err := strconv.ParseFloat(s, 64); err == nil && v > 0 {
-				scale = v
-			}
-		}
-		study = core.NewStudy(scale)
-	})
+	studyOnce.Do(func() { study = core.NewStudy(benchScale()) })
 	return study
 }
 
@@ -321,6 +325,41 @@ func BenchmarkAblationTMIWLM(b *testing.B) {
 		}
 	}
 }
+
+// ---- Parallel experiment engine benches ----
+
+// benchMatrix is the worker-pool workload: the full 45nm iso-performance
+// comparison matrix (5 circuits × {2D, T-MI}) on a fresh study, so every
+// flow actually executes (no warm study cache; the process-wide library and
+// netlist caches are warm for both variants alike).
+func benchMatrix(b *testing.B, workers int) {
+	var cfgs []flow.Config
+	for _, name := range circuits.Names {
+		cfgs = append(cfgs,
+			flow.Config{Circuit: name, Node: tech.N45, Mode: tech.Mode2D},
+			flow.Config{Circuit: name, Node: tech.N45, Mode: tech.ModeTMI})
+	}
+	for i := 0; i < b.N; i++ {
+		s := core.NewStudy(benchScale())
+		s.Workers = workers
+		rs, err := s.RunAll(cfgs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rs) != len(cfgs) || s.FlowsRun() != len(cfgs) {
+			b.Fatalf("%d results, %d flows executed, want %d", len(rs), s.FlowsRun(), len(cfgs))
+		}
+	}
+	b.ReportMetric(float64(workers), "workers")
+}
+
+// BenchmarkStudySerial is the -j 1 baseline for the parallel driver.
+func BenchmarkStudySerial(b *testing.B) { benchMatrix(b, 1) }
+
+// BenchmarkStudyParallel fans the same matrix across GOMAXPROCS workers;
+// compare ns/op against BenchmarkStudySerial for the wall-clock speedup
+// (BENCH_parallel.json holds the committed baseline).
+func BenchmarkStudyParallel(b *testing.B) { benchMatrix(b, runtime.GOMAXPROCS(0)) }
 
 // BenchmarkEquiv measures the formal sign-off cost on the DES mapped netlist:
 // AIG compilation, register correspondence, and structural proof of every

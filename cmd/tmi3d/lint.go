@@ -203,10 +203,15 @@ func injectDefect(d *netlist.Design, kind string) error {
 		}
 		return fmt.Errorf("corrupt float: no instance with inputs found")
 	case "swapgate":
-		// Swap a gate for its dual (AND2↔OR2, NAND2↔NOR2). Pin names and
-		// drive-strength sets are identical, so every ERC and library rule
-		// still passes — only formal equivalence checking catches it.
+		// Swap every AND/OR-family gate for its dual (AND2↔OR2, NAND2↔NOR2).
+		// Pin names and drive-strength sets are identical, so every ERC and
+		// library rule still passes — only formal equivalence checking
+		// catches it. All matching gates are swapped because any single gate
+		// may sit in a dead cone or be masked at every compare point (a
+		// single-gate swap of FPU@0.1 proves equivalent), which would make
+		// the corruption a functional no-op.
 		duals := map[string]string{"AND2": "OR2", "OR2": "AND2", "NAND2": "NOR2", "NOR2": "NAND2"}
+		swapped := 0
 		for i := range d.Instances {
 			inst := &d.Instances[i]
 			dual, ok := duals[inst.Func]
@@ -217,9 +222,12 @@ func injectDefect(d *netlist.Design, kind string) error {
 				inst.CellName = dual + strings.TrimPrefix(inst.CellName, inst.Func)
 			}
 			inst.Func = dual
-			return nil
+			swapped++
 		}
-		return fmt.Errorf("corrupt swapgate: no two-input AND/OR-family gate found")
+		if swapped == 0 {
+			return fmt.Errorf("corrupt swapgate: no two-input AND/OR-family gate found")
+		}
+		return nil
 	case "dropinv":
 		// Delete an inverter and reconnect its sinks to its input — the
 		// netlist stays fully connected and ERC-clean (the dangling output

@@ -15,7 +15,9 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"strings"
+	"sync"
 
 	"tmi3d/internal/flow"
 	"tmi3d/internal/tech"
@@ -39,6 +41,7 @@ func main() {
 	clock := flag.Float64("clock", 0, "target clock in ps (paper-equivalent; 0 = Table 12)")
 	compare := flag.Bool("compare", false, "run both 2D and T-MI and print the comparison")
 	dump := flag.String("dump", "", "write <prefix>.v and <prefix>.def implementation artifacts")
+	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "max flows run in parallel (-compare runs 2D and T-MI concurrently when >1)")
 	flag.Parse()
 	log.SetFlags(0)
 
@@ -55,8 +58,21 @@ func main() {
 	}
 
 	if *compare {
-		r2 := run(flow.Config{Circuit: *circuit, Scale: *scale, Node: node, Mode: tech.Mode2D, ClockPs: *clock})
-		r3 := run(flow.Config{Circuit: *circuit, Scale: *scale, Node: node, Mode: tech.ModeTMI, ClockPs: *clock})
+		cfg2 := flow.Config{Circuit: *circuit, Scale: *scale, Node: node, Mode: tech.Mode2D, ClockPs: *clock}
+		cfg3 := flow.Config{Circuit: *circuit, Scale: *scale, Node: node, Mode: tech.ModeTMI, ClockPs: *clock}
+		var r2, r3 *flow.Result
+		if *jobs > 1 {
+			// Each flow's RNG derives from its config, so the concurrent
+			// runs produce exactly what the serial runs would.
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() { defer wg.Done(); r2 = run(cfg2) }()
+			r3 = run(cfg3)
+			wg.Wait()
+		} else {
+			r2 = run(cfg2)
+			r3 = run(cfg3)
+		}
 		print1(r2)
 		print1(r3)
 		d := flow.Diff(r2, r3)

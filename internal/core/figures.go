@@ -33,20 +33,26 @@ var fig4Clocks = map[string][3]float64{
 // harder, so the T-MI benefit grows.
 func (s *Study) Fig4() ([]Fig4Point, error) {
 	labels := [3]string{"slow", "medium", "fast"}
-	var pts []Fig4Point
-	for _, name := range []string{"AES", "M256"} {
-		clocks := fig4Clocks[name]
-		for i, ns := range clocks {
-			var pair [2]*flow.Result
-			for k, mode := range []tech.Mode{tech.Mode2D, tech.ModeTMI} {
-				r, err := s.run(flow.Config{
+	names := []string{"AES", "M256"}
+	var cfgs []flow.Config
+	for _, name := range names {
+		for _, ns := range fig4Clocks[name] {
+			for _, mode := range []tech.Mode{tech.Mode2D, tech.ModeTMI} {
+				cfgs = append(cfgs, flow.Config{
 					Circuit: name, Node: tech.N45, Mode: mode, ClockPs: ns * 1000,
 				})
-				if err != nil {
-					return nil, err
-				}
-				pair[k] = r
 			}
+		}
+	}
+	rs, err := s.RunAll(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	var pts []Fig4Point
+	for ni, name := range names {
+		clocks := fig4Clocks[name]
+		for i, ns := range clocks {
+			pair := [2]*flow.Result{rs[ni*6+i*2], rs[ni*6+i*2+1]}
 			pts = append(pts, Fig4Point{
 				Circuit: name, ClockNs: ns, Label: labels[i],
 				Total:   -pct(pair[0].Power.Total, pair[1].Power.Total),
@@ -85,12 +91,17 @@ type Fig6Curve struct {
 // Fig6 extracts the measured fanout-vs-wirelength curves (the 2D wire load
 // models of Section S2) from the routed 45nm designs.
 func (s *Study) Fig6() ([]Fig6Curve, error) {
+	cfgs := make([]flow.Config, len(circuits.Names))
+	for i, name := range circuits.Names {
+		cfgs[i] = flow.Config{Circuit: name, Node: tech.N45, Mode: tech.Mode2D}
+	}
+	rs, err := s.RunAll(cfgs)
+	if err != nil {
+		return nil, err
+	}
 	var curves []Fig6Curve
-	for _, name := range circuits.Names {
-		r, err := s.run(flow.Config{Circuit: name, Node: tech.N45, Mode: tech.Mode2D})
-		if err != nil {
-			return nil, err
-		}
+	for i, name := range circuits.Names {
+		r := rs[i]
 		var fanouts []int
 		for f := range r.WLSamples {
 			if f >= 1 {
@@ -151,25 +162,29 @@ type Fig10Row struct {
 
 // Fig10 reports metal layer usage for LDPC and M256 at 7nm.
 func (s *Study) Fig10() ([]Fig10Row, error) {
-	var rows []Fig10Row
+	var cfgs []flow.Config
 	for _, name := range []string{"LDPC", "M256"} {
 		for _, mode := range []tech.Mode{tech.Mode2D, tech.ModeTMI} {
-			r, err := s.run(flow.Config{Circuit: name, Node: tech.N7, Mode: mode})
-			if err != nil {
-				return nil, err
-			}
-			total := r.TotalWL
-			if total == 0 {
-				total = 1
-			}
-			local := r.WLByClass[tech.ClassM1] + r.WLByClass[tech.ClassLocal]
-			rows = append(rows, Fig10Row{
-				Circuit: name, Mode: mode,
-				LocalPct:        100 * local / total,
-				IntermediatePct: 100 * r.WLByClass[tech.ClassIntermediate] / total,
-				GlobalPct:       100 * r.WLByClass[tech.ClassGlobal] / total,
-			})
+			cfgs = append(cfgs, flow.Config{Circuit: name, Node: tech.N7, Mode: mode})
 		}
+	}
+	rs, err := s.RunAll(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Fig10Row
+	for _, r := range rs {
+		total := r.TotalWL
+		if total == 0 {
+			total = 1
+		}
+		local := r.WLByClass[tech.ClassM1] + r.WLByClass[tech.ClassLocal]
+		rows = append(rows, Fig10Row{
+			Circuit: r.Config.Circuit, Mode: r.Config.Mode,
+			LocalPct:        100 * local / total,
+			IntermediatePct: 100 * r.WLByClass[tech.ClassIntermediate] / total,
+			GlobalPct:       100 * r.WLByClass[tech.ClassGlobal] / total,
+		})
 	}
 	return rows, nil
 }
@@ -204,20 +219,26 @@ func (s *Study) Fig11(circuitNames []string) ([]Fig11Point, error) {
 	if len(circuitNames) == 0 {
 		circuitNames = circuits.Names
 	}
-	var pts []Fig11Point
+	activities := []float64{0.1, 0.2, 0.3, 0.4}
+	var cfgs []flow.Config
 	for _, name := range circuitNames {
-		for _, a := range []float64{0.1, 0.2, 0.3, 0.4} {
-			var pair [2]*flow.Result
-			for k, mode := range []tech.Mode{tech.Mode2D, tech.ModeTMI} {
-				r, err := s.run(flow.Config{
+		for _, a := range activities {
+			for _, mode := range []tech.Mode{tech.Mode2D, tech.ModeTMI} {
+				cfgs = append(cfgs, flow.Config{
 					Circuit: name, Node: tech.N45, Mode: mode,
 					Activities: power.Activities{PrimaryInput: 0.2, SeqOutput: a},
 				})
-				if err != nil {
-					return nil, err
-				}
-				pair[k] = r
 			}
+		}
+	}
+	rs, err := s.RunAll(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	var pts []Fig11Point
+	for ni, name := range circuitNames {
+		for ai, a := range activities {
+			pair := [2]*flow.Result{rs[ni*8+ai*2], rs[ni*8+ai*2+1]}
 			pts = append(pts, Fig11Point{
 				Circuit: name, Activity: a,
 				Power2D: pair[0].Power.Total, Power3D: pair[1].Power.Total,

@@ -47,12 +47,13 @@ func (s *Study) Summary(node tech.Node) ([]SummaryRow, error) {
 	if node == tech.N7 {
 		paper = table7Paper
 	}
+	pairs, err := s.Pairs(circuits.Names, node)
+	if err != nil {
+		return nil, err
+	}
 	var rows []SummaryRow
-	for _, name := range circuits.Names {
-		d2, d3, err := s.Pair(name, node)
-		if err != nil {
-			return nil, err
-		}
+	for i, name := range circuits.Names {
+		d2, d3 := pairs[i][0], pairs[i][1]
 		rows = append(rows, SummaryRow{
 			Circuit:   name,
 			Footprint: pct(d2.Footprint, d3.Footprint),
@@ -110,13 +111,13 @@ type DetailRow struct {
 
 // Detail runs both modes of every circuit at a node (Tables 13 and 14).
 func (s *Study) Detail(node tech.Node) ([]DetailRow, error) {
+	pairs, err := s.Pairs(circuits.Names, node)
+	if err != nil {
+		return nil, err
+	}
 	var rows []DetailRow
-	for _, name := range circuits.Names {
-		d2, d3, err := s.Pair(name, node)
-		if err != nil {
-			return nil, err
-		}
-		for _, r := range []*flow.Result{d2, d3} {
+	for i, name := range circuits.Names {
+		for _, r := range []*flow.Result{pairs[i][0], pairs[i][1]} {
 			rows = append(rows, DetailRow{
 				Circuit:    name,
 				Mode:       r.Config.Mode,

@@ -32,13 +32,14 @@ var priorWork = []Table5Row{
 
 // Table5 assembles our AES/LDPC/DES results next to the published rows.
 func (s *Study) Table5() ([]Table5Row, error) {
+	names := []string{"AES", "LDPC", "DES"}
+	pairs, err := s.Pairs(names, tech.N45)
+	if err != nil {
+		return nil, err
+	}
 	var rows []Table5Row
-	for _, name := range []string{"AES", "LDPC", "DES"} {
-		d2, d3, err := s.Pair(name, tech.N45)
-		if err != nil {
-			return nil, err
-		}
-		for _, r := range []*flow.Result{d2, d3} {
+	for i, name := range names {
+		for _, r := range []*flow.Result{pairs[i][0], pairs[i][1]} {
 			mode := "2D"
 			if r.Config.Mode.Is3D() {
 				mode = "3D"
@@ -86,23 +87,27 @@ type Table8Row struct {
 // Table8 reproduces the pin-cap reduction study: DES at 7nm with library pin
 // capacitances reduced by 0/20/40/60%.
 func (s *Study) Table8() ([]Table8Row, error) {
-	var rows []Table8Row
-	for _, v := range []struct {
+	variants := []struct {
 		suffix string
 		scale  float64
 	}{
 		{"", 1.0}, {"-p20", 0.8}, {"-p40", 0.6}, {"-p60", 0.4},
-	} {
-		var pair [2]*flow.Result
-		for i, mode := range []tech.Mode{tech.Mode2D, tech.ModeTMI} {
-			r, err := s.run(flow.Config{
+	}
+	var cfgs []flow.Config
+	for _, v := range variants {
+		for _, mode := range []tech.Mode{tech.Mode2D, tech.ModeTMI} {
+			cfgs = append(cfgs, flow.Config{
 				Circuit: "DES", Node: tech.N7, Mode: mode, PinCapScale: v.scale,
 			})
-			if err != nil {
-				return nil, err
-			}
-			pair[i] = r
 		}
+	}
+	rs, err := s.RunAll(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Table8Row
+	for i, v := range variants {
+		pair := [2]*flow.Result{rs[2*i], rs[2*i+1]}
 		red := pct(pair[0].Power.Total, pair[1].Power.Total)
 		for _, r := range pair {
 			rows = append(rows, Table8Row{
@@ -152,8 +157,7 @@ type Table9Row struct {
 // Table9 reproduces the lower-metal-resistivity study: M256 at 7nm with the
 // local and intermediate layer resistivity halved.
 func (s *Study) Table9() ([]Table9Row, error) {
-	var rows []Table9Row
-	for _, v := range []struct {
+	variants := []struct {
 		suffix string
 		scale  map[tech.LayerClass]float64
 	}{
@@ -161,17 +165,22 @@ func (s *Study) Table9() ([]Table9Row, error) {
 		{"-m", map[tech.LayerClass]float64{
 			tech.ClassM1: 0.5, tech.ClassLocal: 0.5, tech.ClassIntermediate: 0.5,
 		}},
-	} {
-		var pair [2]*flow.Result
-		for i, mode := range []tech.Mode{tech.Mode2D, tech.ModeTMI} {
-			r, err := s.run(flow.Config{
+	}
+	var cfgs []flow.Config
+	for _, v := range variants {
+		for _, mode := range []tech.Mode{tech.Mode2D, tech.ModeTMI} {
+			cfgs = append(cfgs, flow.Config{
 				Circuit: "M256", Node: tech.N7, Mode: mode, ResistivityScale: v.scale,
 			})
-			if err != nil {
-				return nil, err
-			}
-			pair[i] = r
 		}
+	}
+	rs, err := s.RunAll(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Table9Row
+	for i, v := range variants {
+		pair := [2]*flow.Result{rs[2*i], rs[2*i+1]}
 		red := pct(pair[0].Power.Total, pair[1].Power.Total)
 		for _, r := range pair {
 			rows = append(rows, Table9Row{
@@ -216,16 +225,20 @@ type Table15Row struct {
 // Table15 reproduces the T-MI wire-load-model impact study: every circuit's
 // T-MI design, synthesized with the T-MI WLM versus the 2D WLM ("-n").
 func (s *Study) Table15() ([]Table15Row, error) {
+	names := []string{"FPU", "AES", "LDPC", "DES", "M256"}
+	var cfgs []flow.Config
+	for _, name := range names {
+		cfgs = append(cfgs,
+			flow.Config{Circuit: name, Node: tech.N45, Mode: tech.ModeTMI},
+			flow.Config{Circuit: name, Node: tech.N45, Mode: tech.ModeTMI, Use2DWLM: true})
+	}
+	rs, err := s.RunAll(cfgs)
+	if err != nil {
+		return nil, err
+	}
 	var rows []Table15Row
-	for _, name := range []string{"FPU", "AES", "LDPC", "DES", "M256"} {
-		with, err := s.run(flow.Config{Circuit: name, Node: tech.N45, Mode: tech.ModeTMI})
-		if err != nil {
-			return nil, err
-		}
-		without, err := s.run(flow.Config{Circuit: name, Node: tech.N45, Mode: tech.ModeTMI, Use2DWLM: true})
-		if err != nil {
-			return nil, err
-		}
+	for i, name := range names {
+		with, without := rs[2*i], rs[2*i+1]
 		dWL := pct(with.TotalWL, without.TotalWL)
 		dP := pct(with.Power.Total, without.Power.Total)
 		rows = append(rows,
@@ -267,13 +280,14 @@ type Table16Row struct {
 // Table16 reproduces the net power breakdown for LDPC and DES at 45nm — the
 // circuit-characteristics explanation of Section 4.3 / S8.
 func (s *Study) Table16() ([]Table16Row, error) {
+	names := []string{"LDPC", "DES"}
+	pairs, err := s.Pairs(names, tech.N45)
+	if err != nil {
+		return nil, err
+	}
 	var rows []Table16Row
-	for _, name := range []string{"LDPC", "DES"} {
-		d2, d3, err := s.Pair(name, tech.N45)
-		if err != nil {
-			return nil, err
-		}
-		for _, r := range []*flow.Result{d2, d3} {
+	for i, name := range names {
+		for _, r := range []*flow.Result{pairs[i][0], pairs[i][1]} {
 			rows = append(rows, Table16Row{
 				Circuit: name, Mode: r.Config.Mode,
 				WireCapPF: r.Power.WireCap, PinCapPF: r.Power.PinCap,
@@ -311,20 +325,24 @@ type Table17Row struct {
 // with the T-MI+M stack (2 local + 2 intermediate layers added instead of 3
 // local).
 func (s *Study) Table17() ([]Table17Row, error) {
-	var rows []Table17Row
+	var cfgs []flow.Config
 	for _, name := range []string{"LDPC", "M256"} {
 		for _, mode := range []tech.Mode{tech.ModeTMI, tech.ModeTMIM} {
-			r, err := s.run(flow.Config{Circuit: name, Node: tech.N7, Mode: mode})
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, Table17Row{
-				Circuit: name, Stack: mode,
-				WLmm:    r.TotalWL / 1000,
-				TotalMW: r.Power.Total, CellMW: r.Power.Cell,
-				NetMW: r.Power.Net, LeakMW: r.Power.Leakage,
-			})
+			cfgs = append(cfgs, flow.Config{Circuit: name, Node: tech.N7, Mode: mode})
 		}
+	}
+	rs, err := s.RunAll(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Table17Row
+	for _, r := range rs {
+		rows = append(rows, Table17Row{
+			Circuit: r.Config.Circuit, Stack: r.Config.Mode,
+			WLmm:    r.TotalWL / 1000,
+			TotalMW: r.Power.Total, CellMW: r.Power.Cell,
+			NetMW: r.Power.Net, LeakMW: r.Power.Leakage,
+		})
 	}
 	return rows, nil
 }

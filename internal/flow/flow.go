@@ -11,7 +11,10 @@ package flow
 
 import (
 	"fmt"
+	"math"
+	"strconv"
 	"sync"
+	"time"
 
 	"tmi3d/internal/captable"
 	"tmi3d/internal/circuits"
@@ -132,6 +135,12 @@ type Result struct {
 	Design    *netlist.Design
 	Placement *place.Placement
 
+	// StageTimes is the wall-clock cost of each flow stage in pipeline
+	// order — the profile that shows where a parallel experiment run still
+	// serializes. Timing is observational only: it never feeds back into
+	// the flow, so results stay deterministic.
+	StageTimes []StageTime
+
 	// LintReports holds the per-stage design-integrity reports (empty when
 	// Config.Lint is GateOff).
 	LintReports []*lint.Report
@@ -144,9 +153,18 @@ type Result struct {
 }
 
 // circuit generation is deterministic and expensive at scale 1; cache it.
+// Each key owns a sync.Once so concurrent flows generating *different*
+// circuits proceed in parallel, while callers of the same key block on one
+// generation — the mutex only guards the map, never the work.
+type genEntry struct {
+	once sync.Once
+	d    *netlist.Design
+	err  error
+}
+
 var (
 	genMu    sync.Mutex
-	genCache = map[string]*netlist.Design{}
+	genCache = map[string]*genEntry{}
 )
 
 // The folded library's transistor networks are mode- and node-independent
@@ -164,18 +182,16 @@ func LibraryCheck() *equiv.LibReport {
 }
 
 func generated(name string, scale float64) (*netlist.Design, error) {
-	key := fmt.Sprintf("%s@%.4f", name, scale)
+	key := name + "@" + strconv.FormatFloat(scale, 'g', -1, 64)
 	genMu.Lock()
-	defer genMu.Unlock()
-	if d, ok := genCache[key]; ok {
-		return d, nil
+	e, ok := genCache[key]
+	if !ok {
+		e = &genEntry{}
+		genCache[key] = e
 	}
-	d, err := circuits.Generate(name, scale)
-	if err != nil {
-		return nil, err
-	}
-	genCache[key] = d
-	return d, nil
+	genMu.Unlock()
+	e.once.Do(func() { e.d, e.err = circuits.Generate(name, scale) })
+	return e.d, e.err
 }
 
 // Run executes the full flow.
@@ -183,6 +199,13 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.Scale == 0 {
 		cfg.Scale = 1.0
 	}
+	// Every random decision downstream draws from a stream derived purely
+	// from the configuration, never from scheduling order — the determinism
+	// contract that lets the experiment engine run flows in parallel and
+	// still produce bit-identical reports.
+	seed := cfg.DeriveSeed()
+	prof := newStageTimer()
+	t0 := time.Now()
 	t := tech.New(cfg.Node, cfg.Mode)
 	lib, err := liberty.Default(cfg.Node, cfg.Mode)
 	if err != nil {
@@ -191,7 +214,9 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.PinCapScale != 0 && cfg.PinCapScale != 1 {
 		lib = lib.ScalePinCap(cfg.PinCapScale)
 	}
+	prof.add("library", time.Since(t0))
 
+	t0 = time.Now()
 	src, err := generated(cfg.Circuit, cfg.Scale)
 	if err != nil {
 		return nil, err
@@ -206,6 +231,7 @@ func Run(cfg Config) (*Result, error) {
 	}
 	clock *= ClockCalibrationFactor(cfg.Circuit, cfg.Node)
 	d.TargetClockPs = clock
+	prof.add("generate", time.Since(t0))
 
 	// Wire load model: estimated die area from the generic netlist.
 	areaEst := estimateArea(d, lib)
@@ -228,6 +254,8 @@ func Run(cfg Config) (*Result, error) {
 		if cfg.Lint == lint.GateOff {
 			return nil
 		}
+		g0 := time.Now()
+		defer func() { prof.add("lint", time.Since(g0)) }()
 		rep := lint.CheckDesign(d, lint.DesignOptions{Lib: lib})
 		rep.Subject = fmt.Sprintf("%s/%v/%v %s", cfg.Circuit, cfg.Node, cfg.Mode, stage)
 		lintReports = append(lintReports, rep)
@@ -246,7 +274,9 @@ func Run(cfg Config) (*Result, error) {
 	var equivReports []*equiv.Report
 	var libCheck *equiv.LibReport
 	if cfg.Equiv != lint.GateOff {
+		t0 = time.Now()
 		libCheck = LibraryCheck()
+		prof.add("equiv", time.Since(t0))
 		if cfg.Equiv == lint.GateEnforce {
 			if err := libCheck.Err(); err != nil {
 				return nil, err
@@ -257,7 +287,9 @@ func Run(cfg Config) (*Result, error) {
 		if cfg.Equiv == lint.GateOff {
 			return nil
 		}
-		rep, err := equiv.Check(ref, d, equiv.Options{Seed: cfg.Seed})
+		g0 := time.Now()
+		defer func() { prof.add("equiv", time.Since(g0)) }()
+		rep, err := equiv.Check(ref, d, equiv.Options{Seed: seed})
 		if err != nil {
 			return fmt.Errorf("equiv gate %s: %w", stage, err)
 		}
@@ -272,11 +304,13 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	ref := d // generated source netlist, reference for the post-synth check
+	t0 = time.Now()
 	sres, err := synth.Run(d, synth.Options{Lib: lib, WLM: model})
 	if err != nil {
 		return nil, fmt.Errorf("flow %s/%v/%v: synth: %w", cfg.Circuit, cfg.Node, cfg.Mode, err)
 	}
 	d = sres.Design
+	prof.add("synth", time.Since(t0))
 	if err := lintGate("post-synth"); err != nil {
 		return nil, err
 	}
@@ -291,12 +325,15 @@ func Run(cfg Config) (*Result, error) {
 	// FINAL utilization lands near the target, as the paper's flow does
 	// (Section S6 reports post-optimization utilizations at the target).
 	placeUtil := util * 0.90
-	pl, err := place.Run(d, place.Options{Lib: lib, Tech: t, TargetUtil: placeUtil, Seed: cfg.Seed + 7})
+	t0 = time.Now()
+	pl, err := place.Run(d, place.Options{Lib: lib, Tech: t, TargetUtil: placeUtil, Seed: seed})
 	if err != nil {
 		return nil, err
 	}
+	prof.add("place", time.Since(t0))
 
 	// Pre-route optimization on bounding-box parasitics.
+	t0 = time.Now()
 	tb := captable.Build(t, captable.Options{ResistivityScale: cfg.ResistivityScale})
 	estWire := hpwlWire(pl, tb)
 	areaBudget := pl.Die.Area() * 0.95
@@ -306,6 +343,7 @@ func Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	prof.add("opt", time.Since(t0))
 	if err := lintGate("post-place"); err != nil {
 		return nil, err
 	}
@@ -317,13 +355,16 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	// Routing and extraction.
+	t0 = time.Now()
 	rt, err := route.Run(pl, route.Options{Tech: t})
 	if err != nil {
 		return nil, err
 	}
 	ex := rcx.Extract(rt, tb, t)
+	prof.add("route", time.Since(t0))
 
 	// Post-route optimization: extracted parasitics, power recovery on.
+	t0 = time.Now()
 	postSrc := extractedWire(ex, pl, tb)
 	postStats, err := opt.Close(d, opt.Options{
 		Lib: lib, Wire: postSrc.fn, Placement: pl, MaxRounds: 8, PowerRecovery: true,
@@ -332,6 +373,7 @@ func Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	prof.add("opt", time.Since(t0))
 	postStats.Upsized += preStats.Upsized
 	postStats.BuffersAdd += preStats.BuffersAdd
 	postStats.Downsized += preStats.Downsized
@@ -342,20 +384,25 @@ func Run(cfg Config) (*Result, error) {
 	var timing *sta.Result
 	var finalWire func(int) sta.WireRC
 	for pass := 0; ; pass++ {
+		t0 = time.Now()
 		rt, err = route.Run(pl, route.Options{Tech: t})
 		if err != nil {
 			return nil, err
 		}
 		ex = rcx.Extract(rt, tb, t)
+		prof.add("route", time.Since(t0))
 		finalSrc := extractedWire(ex, pl, tb)
 		finalWire = finalSrc.fn
+		t0 = time.Now()
 		timing, err = sta.Analyze(d, sta.Env{Lib: lib, Wire: finalWire})
 		if err != nil {
 			return nil, err
 		}
+		prof.add("sta", time.Since(t0))
 		if timing.Met() || pass >= 2 {
 			break
 		}
+		t0 = time.Now()
 		ecoStats, err := opt.Close(d, opt.Options{
 			Lib: lib, Wire: finalWire, Placement: pl, MaxRounds: 6, SkipDRV: true,
 			AreaBudget: areaBudget,
@@ -363,6 +410,7 @@ func Run(cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		prof.add("opt", time.Since(t0))
 		postStats.Upsized += ecoStats.Upsized
 		postStats.BuffersAdd += ecoStats.BuffersAdd
 	}
@@ -372,6 +420,7 @@ func Run(cfg Config) (*Result, error) {
 	if err := equivGate("post-route vs post-place", ref); err != nil {
 		return nil, err
 	}
+	t0 = time.Now()
 	pow, err := power.Analyze(d, power.Env{
 		Lib: lib, Wire: finalWire, Activities: cfg.Activities, Timing: timing,
 	})
@@ -394,6 +443,7 @@ func Run(cfg Config) (*Result, error) {
 	}
 	pow.Net = pow.Wire + pow.Pin
 	pow.Total = pow.Cell + pow.Net + pow.Leakage
+	prof.add("power", time.Since(t0))
 
 	res := &Result{
 		Config:     cfg,
@@ -417,6 +467,7 @@ func Run(cfg Config) (*Result, error) {
 	res.LintReports = lintReports
 	res.EquivReports = equivReports
 	res.LibCheck = libCheck
+	res.StageTimes = prof.times()
 	res.TotalWL += clk.Wirelength
 	res.WLByClass[tech.ClassIntermediate] += clk.Wirelength // clock routes on 2x layers
 	res.ClockWL = clk.Wirelength
@@ -508,11 +559,17 @@ type Compare struct {
 	Buffers   float64
 }
 
-// Diff computes percentage deltas of b versus a.
+// Diff computes percentage deltas of b versus a. A zero baseline has no
+// defined percentage delta: those entries are NaN (rendered as "n/a" by
+// report.Pct), never a fabricated 0%. A zero-over-zero comparison is the one
+// exception — nothing changed, so the delta is 0.
 func Diff(a, b *Result) Compare {
 	pct := func(x, y float64) float64 {
 		if x == 0 {
-			return 0
+			if y == 0 {
+				return 0
+			}
+			return math.NaN()
 		}
 		return (y - x) / x * 100
 	}

@@ -1,0 +1,115 @@
+package flow
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"tmi3d/internal/tech"
+)
+
+// Key returns the canonical cache key of a configuration: two configs share a
+// key exactly when Run would produce identical results. Every result-affecting
+// field participates at full precision — floats are formatted with
+// strconv.FormatFloat(-1), which round-trips, so sweep points that differ by
+// less than a printable unit (e.g. Fig 4 clocks 0.4 ps apart) never collide.
+func (c Config) Key() string {
+	var b strings.Builder
+	c.writePhysicalKey(&b)
+	// Gate modes never change the layout, but they change the Result
+	// (reports attached or not), so cached entries must not alias.
+	b.WriteString("|lint=")
+	b.WriteString(strconv.Itoa(int(c.Lint)))
+	b.WriteString("|equiv=")
+	b.WriteString(strconv.Itoa(int(c.Equiv)))
+	return b.String()
+}
+
+// writePhysicalKey emits the fields that determine the physical design —
+// the layout-relevant subset of Key, and the domain of DeriveSeed.
+func (c Config) writePhysicalKey(b *strings.Builder) {
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	b.WriteString(c.Circuit)
+	b.WriteString("|scale=")
+	b.WriteString(f(c.Scale))
+	b.WriteString("|node=")
+	b.WriteString(strconv.Itoa(int(c.Node)))
+	b.WriteString("|mode=")
+	b.WriteString(strconv.Itoa(int(c.Mode)))
+	b.WriteString("|clock=")
+	b.WriteString(f(c.ClockPs))
+	b.WriteString("|util=")
+	b.WriteString(f(c.Util))
+	b.WriteString("|pincap=")
+	b.WriteString(f(c.PinCapScale))
+	b.WriteString("|res=")
+	// Map iteration order is random; sort by layer class for a stable key.
+	classes := make([]int, 0, len(c.ResistivityScale))
+	for cl := range c.ResistivityScale {
+		classes = append(classes, int(cl))
+	}
+	sort.Ints(classes)
+	for _, cl := range classes {
+		b.WriteString(strconv.Itoa(cl))
+		b.WriteByte(':')
+		b.WriteString(f(c.ResistivityScale[tech.LayerClass(cl)]))
+		b.WriteByte(',')
+	}
+	b.WriteString("|wlm2d=")
+	b.WriteString(strconv.FormatBool(c.Use2DWLM))
+	b.WriteString("|act=")
+	b.WriteString(f(c.Activities.PrimaryInput))
+	b.WriteByte('/')
+	b.WriteString(f(c.Activities.SeqOutput))
+	b.WriteString("|seed=")
+	b.WriteString(strconv.FormatUint(c.Seed, 10))
+}
+
+// DeriveSeed mixes the study seed with the physical configuration so every
+// distinct flow gets its own RNG stream. The derivation is a pure function of
+// the config, which is what makes parallel execution bit-identical to serial:
+// no stage consumes randomness whose value depends on scheduling order.
+// Gate modes (Lint, Equiv) are excluded — observation must not move the
+// layout.
+func (c Config) DeriveSeed() uint64 {
+	var b strings.Builder
+	c.writePhysicalKey(&b)
+	h := fnv.New64a()
+	h.Write([]byte(b.String()))
+	return h.Sum64()
+}
+
+// StageTime is the wall-clock cost of one flow stage.
+type StageTime struct {
+	Stage string
+	D     time.Duration
+}
+
+// stageTimer accumulates wall-clock per named stage, preserving first-seen
+// order so reports read in pipeline order. Stages that run more than once
+// (route, opt, sta in the ECO loop) accumulate.
+type stageTimer struct {
+	order []string
+	acc   map[string]time.Duration
+}
+
+func newStageTimer() *stageTimer {
+	return &stageTimer{acc: map[string]time.Duration{}}
+}
+
+func (t *stageTimer) add(stage string, d time.Duration) {
+	if _, ok := t.acc[stage]; !ok {
+		t.order = append(t.order, stage)
+	}
+	t.acc[stage] += d
+}
+
+func (t *stageTimer) times() []StageTime {
+	out := make([]StageTime, 0, len(t.order))
+	for _, s := range t.order {
+		out = append(out, StageTime{Stage: s, D: t.acc[s]})
+	}
+	return out
+}

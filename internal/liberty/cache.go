@@ -10,49 +10,65 @@ import (
 // The characterized libraries are deterministic for a (node, mode) pair, so
 // they are built once per process and shared — SPICE characterization of the
 // whole library takes a few seconds.
+//
+// Each (node, mode) key owns a cacheEntry whose sync.Once runs the build.
+// The mutex only guards the map: concurrent callers of *different* keys
+// characterize in parallel, and concurrent callers of the *same* key block on
+// that key's Once rather than on a global lock — a flow characterizing the
+// 2D library never stalls one characterizing T-MI.
+type cacheEntry struct {
+	once sync.Once
+	lib  *Library
+	err  error
+}
+
 var (
 	cacheMu sync.Mutex
-	cache   = map[[2]int]*Library{}
+	cache   = map[[2]int]*cacheEntry{}
 )
+
+func entryFor(key [2]int) *cacheEntry {
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	e, ok := cache[key]
+	if !ok {
+		e = &cacheEntry{}
+		cache[key] = e
+	}
+	return e
+}
 
 // Default returns the shared characterized library for a node and design
 // mode. ModeTMIM designs use the T-MI cell library (the modified metal stack
-// only changes routing, not the cells).
+// only changes routing, not the cells). Callers must treat the returned
+// library as immutable — derive variants with ScalePinCap, never mutate.
 func Default(node tech.Node, mode tech.Mode) (*Library, error) {
 	if mode == tech.ModeTMIM {
 		mode = tech.ModeTMI
 	}
-	key := [2]int{int(node), int(mode)}
-	cacheMu.Lock()
-	defer cacheMu.Unlock()
-	if lib, ok := cache[key]; ok {
-		return lib, nil
-	}
-	lib45, err := buildLocked([2]int{int(tech.N45), int(mode)}, mode)
-	if err != nil {
-		return nil, err
-	}
-	if node == tech.N45 {
-		return lib45, nil
-	}
-	lib7 := Derive7(lib45, PaperScale7)
-	cache[key] = lib7
-	return lib7, nil
+	e := entryFor([2]int{int(node), int(mode)})
+	e.once.Do(func() { e.lib, e.err = build(node, mode) })
+	return e.lib, e.err
 }
 
-func buildLocked(key [2]int, mode tech.Mode) (*Library, error) {
-	if lib, ok := cache[key]; ok {
-		return lib, nil
+// build characterizes (or loads) one library. The 7nm library derives from
+// the 45nm one, fetched through Default so the 45nm build is shared and
+// deduplicated like any other key.
+func build(node tech.Node, mode tech.Mode) (*Library, error) {
+	if node != tech.N45 {
+		lib45, err := Default(tech.N45, mode)
+		if err != nil {
+			return nil, err
+		}
+		return Derive7(lib45, PaperScale7), nil
 	}
 	if lib := loadEmbedded(mode); lib != nil {
-		cache[key] = lib
 		return lib, nil
 	}
 	lib, err := Characterize45(mode, CharOptions{})
 	if err != nil {
 		return nil, fmt.Errorf("liberty: %w", err)
 	}
-	cache[key] = lib
 	return lib, nil
 }
 

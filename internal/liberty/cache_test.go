@@ -1,0 +1,98 @@
+package liberty
+
+// Concurrency tests for the shared library cache: the per-key sync.Once
+// structure must serve concurrent flows of mixed (node, mode) without
+// serializing them on one global lock, and cached libraries must behave as
+// immutable values — derived variants (ScalePinCap) never write back.
+
+import (
+	"sync"
+	"testing"
+
+	"tmi3d/internal/tech"
+)
+
+// Hammer Default under mixed (node, mode) load: every caller of a key must
+// get the same library pointer, race-clean (the -race build verifies the
+// absence of data races in the per-key once structure).
+func TestDefaultConcurrentMixedLoad(t *testing.T) {
+	type key struct {
+		node tech.Node
+		mode tech.Mode
+	}
+	keys := []key{
+		{tech.N45, tech.Mode2D}, {tech.N45, tech.ModeTMI},
+		{tech.N7, tech.Mode2D}, {tech.N7, tech.ModeTMI},
+		{tech.N45, tech.ModeTMIM}, // aliases to the T-MI library
+	}
+	const goroutines = 24
+	got := make([]map[key]*Library, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			libs := map[key]*Library{}
+			// Each goroutine walks the keys in a different order.
+			for i := range keys {
+				k := keys[(i+g)%len(keys)]
+				lib, err := Default(k.node, k.mode)
+				if err != nil {
+					t.Errorf("Default(%v, %v): %v", k.node, k.mode, err)
+					return
+				}
+				libs[k] = lib
+			}
+			got[g] = libs
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < goroutines; g++ {
+		for k, lib := range got[0] {
+			if got[g][k] != lib {
+				t.Fatalf("goroutine %d received a different library for %v", g, k)
+			}
+		}
+	}
+	// ModeTMIM must alias the T-MI library, not own a third copy.
+	if got[0][keys[4]] != got[0][keys[1]] {
+		t.Error("ModeTMIM did not alias the ModeTMI library")
+	}
+}
+
+// ScalePinCap derives a variant; the shared cached library must stay
+// untouched, and a later Default must return the original values.
+func TestScalePinCapLeavesCacheIntact(t *testing.T) {
+	lib := MustDefault(tech.N45, tech.Mode2D)
+	cell := lib.MustCell("NAND2_X1")
+	before := map[string]float64{}
+	for pin, v := range cell.PinCap {
+		before[pin] = v
+	}
+
+	scaled := lib.ScalePinCap(0.4)
+	if scaled == lib {
+		t.Fatal("ScalePinCap returned the cached library itself")
+	}
+	for pin, v := range cell.PinCap {
+		if v != before[pin] {
+			t.Fatalf("pin %s of the cached library mutated: %v -> %v", pin, before[pin], v)
+		}
+	}
+	again := MustDefault(tech.N45, tech.Mode2D)
+	if again != lib {
+		t.Fatal("cache no longer serves the original library")
+	}
+	for pin, v := range again.MustCell("NAND2_X1").PinCap {
+		if v != before[pin] {
+			t.Errorf("pin %s changed after ScalePinCap: %v -> %v", pin, before[pin], v)
+		}
+	}
+	// And the derived copy actually scaled.
+	for pin, v := range scaled.MustCell("NAND2_X1").PinCap {
+		want := before[pin] * 0.4
+		if diff := v - want; diff > 1e-15 || diff < -1e-15 {
+			t.Errorf("scaled pin %s = %v, want %v", pin, v, want)
+		}
+	}
+}

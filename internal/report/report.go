@@ -4,6 +4,7 @@ package report
 
 import (
 	"fmt"
+	"math"
 	"strings"
 )
 
@@ -91,8 +92,20 @@ func (t *Table) String() string {
 	return b.String()
 }
 
-// Pct formats a percentage difference like the paper ("-32.1%").
-func Pct(v float64) string { return fmt.Sprintf("%+.1f%%", v) }
+// Pct formats a percentage difference like the paper ("-32.1%"). An
+// undefined delta (NaN, e.g. a percentage over a zero baseline) renders as
+// "n/a" rather than a fabricated number.
+func Pct(v float64) string {
+	if math.IsNaN(v) {
+		return "n/a"
+	}
+	return fmt.Sprintf("%+.1f%%", v)
+}
 
-// F formats a float with the given precision.
-func F(v float64, prec int) string { return fmt.Sprintf("%.*f", prec, v) }
+// F formats a float with the given precision; NaN renders as "n/a".
+func F(v float64, prec int) string {
+	if math.IsNaN(v) {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.*f", prec, v)
+}

@@ -1,6 +1,7 @@
 package report
 
 import (
+	"math"
 	"strings"
 	"testing"
 )
@@ -53,5 +54,13 @@ func TestHelpers(t *testing.T) {
 	}
 	if F(1.23456, 2) != "1.23" {
 		t.Errorf("F = %q", F(1.23456, 2))
+	}
+	// Undefined values (percentage over a zero baseline) render as "n/a",
+	// never as a fabricated number.
+	if Pct(math.NaN()) != "n/a" {
+		t.Errorf("Pct(NaN) = %q", Pct(math.NaN()))
+	}
+	if F(math.NaN(), 2) != "n/a" {
+		t.Errorf("F(NaN) = %q", F(math.NaN(), 2))
 	}
 }

@@ -22,6 +22,18 @@ go build ./...
 echo "== go test -race"
 go test -race ./...
 
+echo "== parallel experiments determinism"
+# The experiment engine's contract: the report is byte-identical at any -j.
+# Run a real (small) experiment serially and at -j 4 and diff the outputs.
+pdir=$(mktemp -d)
+trap 'rm -rf "$pdir"' EXIT
+go run ./cmd/experiments -scale 0.1 -only table16 -j 1 -out "$pdir/j1.txt" >/dev/null
+go run ./cmd/experiments -scale 0.1 -only table16 -j 4 -out "$pdir/j4.txt" >/dev/null
+if ! diff -u "$pdir/j1.txt" "$pdir/j4.txt"; then
+    echo "experiments output differs between -j 1 and -j 4" >&2
+    exit 1
+fi
+
 echo "== equiv smoke"
 # Formal sign-off must prove the smallest benchmark's mapped netlist and pass
 # the switch-level library check — and must catch an injected logic defect.
