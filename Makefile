@@ -1,5 +1,5 @@
 # Convenience targets; scripts/check.sh is the canonical CI gate.
-.PHONY: check test build fmt lint equiv
+.PHONY: check test build fmt lint equiv serve loadgen bench-serve
 
 check:
 	./scripts/check.sh
@@ -22,3 +22,16 @@ lint:
 # switch-level check of the folded T-MI library (see internal/equiv).
 equiv:
 	@go run ./cmd/tmi3d equiv -all
+
+# PPA-as-a-service daemon on :8080 with a local persistent store
+# (see internal/serve and the serving-layer section of DESIGN.md).
+serve:
+	go run ./cmd/tmi3d serve -addr 127.0.0.1:8080 -store tmi3d-store
+
+# Drive a running daemon: 64 workers, hot/cold mix, byte-identity check.
+loadgen:
+	go run ./cmd/loadgen -addr 127.0.0.1:8080 -workers 64 -n 256 \
+		-scale 0.1 -cold 0.05 -verify -check
+
+bench-serve:
+	go test ./internal/serve -run '^$$' -bench BenchmarkServe -benchmem

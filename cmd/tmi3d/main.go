@@ -34,6 +34,11 @@ func main() {
 		equivMain(os.Args[2:])
 		return
 	}
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		log.SetFlags(0)
+		serveMain(os.Args[2:])
+		return
+	}
 	circuit := flag.String("circuit", "AES", "benchmark: FPU, AES, LDPC, DES, M256")
 	nodeF := flag.String("node", "45", "process node: 45 or 7")
 	modeF := flag.String("mode", "2d", "design mode: 2d, tmi, tmim")
@@ -41,6 +46,7 @@ func main() {
 	clock := flag.Float64("clock", 0, "target clock in ps (paper-equivalent; 0 = Table 12)")
 	compare := flag.Bool("compare", false, "run both 2D and T-MI and print the comparison")
 	dump := flag.String("dump", "", "write <prefix>.v and <prefix>.def implementation artifacts")
+	byfunc := flag.Bool("byfunc", false, "print the per-function power breakdown table")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "max flows run in parallel (-compare runs 2D and T-MI concurrently when >1)")
 	flag.Parse()
 	log.SetFlags(0)
@@ -74,7 +80,13 @@ func main() {
 			r3 = run(cfg3)
 		}
 		print1(r2)
+		if *byfunc {
+			printByFunc(r2)
+		}
 		print1(r3)
+		if *byfunc {
+			printByFunc(r3)
+		}
 		d := flow.Diff(r2, r3)
 		fmt.Printf("\nT-MI vs 2D: footprint %+.1f%%  wirelength %+.1f%%  total power %+.1f%%"+
 			" (cell %+.1f%%, net %+.1f%%, leakage %+.1f%%)  buffers %+.1f%%\n",
@@ -83,8 +95,19 @@ func main() {
 	}
 	r := run(flow.Config{Circuit: *circuit, Scale: *scale, Node: node, Mode: mode, ClockPs: *clock})
 	print1(r)
+	if *byfunc {
+		printByFunc(r)
+	}
 	if *dump != "" {
 		writeArtifacts(r, *dump)
+	}
+}
+
+// printByFunc prints the deterministic per-function power table.
+func printByFunc(r *flow.Result) {
+	fmt.Printf("\n  power by cell function:\n")
+	for _, line := range strings.Split(strings.TrimRight(r.Power.FunctionTable(), "\n"), "\n") {
+		fmt.Printf("    %s\n", line)
 	}
 }
 

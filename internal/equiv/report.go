@@ -216,6 +216,34 @@ func (r *Report) MarshalJSON() ([]byte, error) {
 	return json.Marshal(out)
 }
 
+// UnmarshalJSON restores a report written by MarshalJSON, so a Report
+// embedded in a serialized flow result survives a store round-trip. The
+// derived "equivalent" field is recomputed from the restored counts rather
+// than stored.
+func (r *Report) UnmarshalJSON(b []byte) error {
+	var in reportJSON
+	if err := json.Unmarshal(b, &in); err != nil {
+		return err
+	}
+	r.Subject, r.NameA, r.NameB = in.Subject, in.DesignA, in.DesignB
+	r.Points, r.Structural, r.BySim, r.BySAT = in.Points, in.Structural, in.BySim, in.BySAT
+	r.Failed = in.Failed
+	r.SATDecisions, r.SATConflicts = in.SATDecisions, in.SATConflicts
+	r.Unmatched, r.MissingPorts = in.Unmatched, in.MissingPorts
+	r.Mismatches = nil
+	for _, m := range in.Mismatches {
+		r.Mismatches = append(r.Mismatches, Mismatch{
+			Point: m.Point, RegisterA: m.RegisterA, RegisterB: m.RegisterB,
+			Inputs: m.Inputs, StateA: m.StateA, StateB: m.StateB,
+			ValA: m.ValA, ValB: m.ValB,
+			Replayed: m.Replayed, Confirmed: m.Confirmed,
+			DivergingNet: m.DivergingNet, DivergeA: m.DivergeA, DivergeB: m.DivergeB,
+			Note: m.Note,
+		})
+	}
+	return nil
+}
+
 // WriteJSON writes the indented JSON report.
 func (r *Report) WriteJSON(w io.Writer) error {
 	data, err := json.MarshalIndent(r, "", "  ")

@@ -65,33 +65,34 @@ func ClockCalibrationFactor(circuit string, node tech.Node) float64 {
 	return k[0]
 }
 
-// Config selects one flow run.
+// Config selects one flow run. The JSON encoding round-trips every field and
+// is accepted verbatim by the serving layer's POST /v1/ppa endpoint.
 type Config struct {
-	Circuit string
-	Scale   float64
-	Node    tech.Node
-	Mode    tech.Mode
+	Circuit string    `json:"circuit"`
+	Scale   float64   `json:"scale"`
+	Node    tech.Node `json:"node"`
+	Mode    tech.Mode `json:"mode"`
 	// ClockPs overrides the Table 12 target clock when non-zero.
-	ClockPs float64
+	ClockPs float64 `json:"clock_ps,omitempty"`
 	// Util overrides the default placement utilization when non-zero.
-	Util float64
+	Util float64 `json:"util,omitempty"`
 	// PinCapScale scales library input pin capacitance (Table 8); 0 = 1.0.
-	PinCapScale float64
+	PinCapScale float64 `json:"pin_cap_scale,omitempty"`
 	// ResistivityScale adjusts interconnect resistivity per layer class
 	// (Table 9).
-	ResistivityScale map[tech.LayerClass]float64
+	ResistivityScale map[tech.LayerClass]float64 `json:"resistivity_scale,omitempty"`
 	// Use2DWLM synthesizes a 3D design with the 2D wire load model — the
 	// "-n" rows of Table 15.
-	Use2DWLM bool
+	Use2DWLM bool `json:"use_2d_wlm,omitempty"`
 	// Activities overrides the switching activity assertions (Fig 11).
-	Activities power.Activities
-	Seed       uint64
+	Activities power.Activities `json:"activities"`
+	Seed       uint64           `json:"seed,omitempty"`
 	// Lint controls the design-integrity gates run after synthesis,
 	// placement, and post-route optimization. The zero value enforces:
 	// any Error-severity diagnostic aborts the flow (the Encounter-style
 	// sanity checks of the paper's flow). GateWarnOnly records reports
 	// without failing; GateOff skips the sweeps entirely.
-	Lint lint.GateMode
+	Lint lint.GateMode `json:"lint,omitempty"`
 	// Equiv controls the formal sign-off gates (the Conformal/Formality box
 	// of Fig 1): logical equivalence checks after every netlist-transforming
 	// stage — post-synth vs the generated source, post-place vs post-synth,
@@ -99,57 +100,66 @@ type Config struct {
 	// of the folded cell library. The zero value enforces: any disproved
 	// compare point aborts the flow. GateWarnOnly records reports without
 	// failing; GateOff skips the checks.
-	Equiv lint.GateMode
+	Equiv lint.GateMode `json:"equiv,omitempty"`
 }
 
 // Result is one completed flow run.
+//
+// The JSON encoding is the wire format of the serving layer: it is
+// deterministic (a decoded Result re-encodes to the same bytes, maps render
+// with sorted keys) and carries everything a PPA query needs. The heavy
+// in-memory artifacts — Design, Placement — and the observational StageTimes
+// are excluded: the first two are gigabyte-class at scale 1 and exportable
+// via Verilog/DEF instead, and wall-clock timing would break the byte-
+// identity contract between a cached response and a fresh run.
 type Result struct {
-	Config Config
+	Config Config `json:"config"`
 
-	Footprint  float64 // µm²
-	DieW, DieH float64
-	NumCells   int
-	NumBuffers int
-	Util       float64
-	CellArea   float64 // µm²
+	Footprint  float64 `json:"footprint_um2"` // µm²
+	DieW       float64 `json:"die_w_um"`
+	DieH       float64 `json:"die_h_um"`
+	NumCells   int     `json:"num_cells"`
+	NumBuffers int     `json:"num_buffers"`
+	Util       float64 `json:"util"`
+	CellArea   float64 `json:"cell_area_um2"` // µm²
 
-	TotalWL   float64 // µm
-	WLByClass [route.NumClasses]float64
-	Overflow  int
-	AvgFanout float64
-	WNS       float64 // ps
-	ClockPs   float64
+	TotalWL   float64                   `json:"total_wl_um"` // µm
+	WLByClass [route.NumClasses]float64 `json:"wl_by_class_um"`
+	Overflow  int                       `json:"overflow"`
+	AvgFanout float64                   `json:"avg_fanout"`
+	WNS       float64                   `json:"wns_ps"` // ps
+	ClockPs   float64                   `json:"clock_ps"`
 	// ClockWL and ClockBuffers describe the synthesized clock tree.
-	ClockWL      float64
-	ClockBuffers int
-	Power        *power.Report
-	OptStats     *opt.Stats
-	SynthStats   netlist.Stats
+	ClockWL      float64       `json:"clock_wl_um"`
+	ClockBuffers int           `json:"clock_buffers"`
+	Power        *power.Report `json:"power"`
+	OptStats     *opt.Stats    `json:"opt_stats,omitempty"`
+	SynthStats   netlist.Stats `json:"synth_stats"`
 
 	// WLSamples maps fanout → routed net lengths (µm), the raw data of
 	// Fig 6 and the input to wlm.Measured.
-	WLSamples map[int][]float64
+	WLSamples map[int][]float64 `json:"wl_samples,omitempty"`
 
 	// Design and Placement expose the final implementation for artifact
 	// export (Verilog, DEF, snapshots) and further analysis.
-	Design    *netlist.Design
-	Placement *place.Placement
+	Design    *netlist.Design  `json:"-"`
+	Placement *place.Placement `json:"-"`
 
 	// StageTimes is the wall-clock cost of each flow stage in pipeline
 	// order — the profile that shows where a parallel experiment run still
 	// serializes. Timing is observational only: it never feeds back into
 	// the flow, so results stay deterministic.
-	StageTimes []StageTime
+	StageTimes []StageTime `json:"-"`
 
 	// LintReports holds the per-stage design-integrity reports (empty when
 	// Config.Lint is GateOff).
-	LintReports []*lint.Report
+	LintReports []*lint.Report `json:"lint_reports,omitempty"`
 	// EquivReports holds the per-stage equivalence-check reports (empty when
 	// Config.Equiv is GateOff).
-	EquivReports []*equiv.Report
+	EquivReports []*equiv.Report `json:"equiv_reports,omitempty"`
 	// LibCheck is the switch-level library verification result (nil when
 	// Config.Equiv is GateOff).
-	LibCheck *equiv.LibReport
+	LibCheck *equiv.LibReport `json:"lib_check,omitempty"`
 }
 
 // circuit generation is deterministic and expensive at scale 1; cache it.
@@ -550,13 +560,13 @@ func extractedWire(ex *rcx.Extraction, pl *place.Placement, tb *captable.Table) 
 // Compare is the iso-performance 2D-vs-3D comparison of two results; values
 // are percentage differences of b over a (negative = reduction).
 type Compare struct {
-	Footprint float64
-	WL        float64
-	Total     float64
-	Cell      float64
-	Net       float64
-	Leakage   float64
-	Buffers   float64
+	Footprint float64 `json:"footprint_pct"`
+	WL        float64 `json:"wl_pct"`
+	Total     float64 `json:"total_pct"`
+	Cell      float64 `json:"cell_pct"`
+	Net       float64 `json:"net_pct"`
+	Leakage   float64 `json:"leakage_pct"`
+	Buffers   float64 `json:"buffers_pct"`
 }
 
 // Diff computes percentage deltas of b versus a. A zero baseline has no

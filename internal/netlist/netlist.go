@@ -102,8 +102,16 @@ func (d *Design) AddInstance(name, fn string, pins map[string]string, outputs ..
 	for _, o := range outputs {
 		outSet[o] = true
 	}
-	for pin, netName := range pins {
-		ni := d.AddNet(netName)
+	// Iterate pins in sorted order: net indices and sink order must not
+	// depend on map iteration, or two processes build different (if
+	// isomorphic) netlists and downstream results stop being reproducible.
+	names := make([]string, 0, len(pins))
+	for pin := range pins {
+		names = append(names, pin)
+	}
+	sort.Strings(names)
+	for _, pin := range names {
+		ni := d.AddNet(pins[pin])
 		inst.Pins[pin] = ni
 		if outSet[pin] {
 			d.Nets[ni].Driver = PinRef{Inst: idx, Pin: pin}
@@ -140,11 +148,11 @@ func (d *Design) SetClock(netName string) {
 
 // Stats summarizes a design the way Table 12 reports it.
 type Stats struct {
-	NumCells      int
-	NumNets       int
-	NumBuffers    int
-	NumSeq        int
-	AverageFanout float64
+	NumCells      int     `json:"num_cells"`
+	NumNets       int     `json:"num_nets"`
+	NumBuffers    int     `json:"num_buffers"`
+	NumSeq        int     `json:"num_seq"`
+	AverageFanout float64 `json:"average_fanout"`
 }
 
 // Stats computes design statistics. Average fanout follows the usual

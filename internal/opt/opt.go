@@ -60,11 +60,11 @@ type Options struct {
 
 // Stats summarizes what the optimizer did.
 type Stats struct {
-	Upsized    int
-	Downsized  int
-	BuffersAdd int
-	FinalWNS   float64
-	Rounds     int
+	Upsized    int     `json:"upsized"`
+	Downsized  int     `json:"downsized"`
+	BuffersAdd int     `json:"buffers_add"`
+	FinalWNS   float64 `json:"final_wns_ps"`
+	Rounds     int     `json:"rounds"`
 }
 
 // Close runs timing closure and optional power recovery on the design.

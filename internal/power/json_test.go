@@ -1,0 +1,93 @@
+package power
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func sampleReport() *Report {
+	return &Report{
+		Total: 2.5, Cell: 1.2, Net: 1.0, Wire: 0.7, Pin: 0.3,
+		Leakage: 0.3, WireCap: 3.5, PinCap: 1.25, NetActivity: 0.12,
+		ByFunction: map[string]float64{
+			"XOR2": 0.3, "DFF": 0.5, "NAND2": 0.2, "BUF": 0.1, "AOI21": 0.1,
+		},
+	}
+}
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	in := sampleReport()
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Report
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(*in, out) {
+		t.Fatalf("report round trip mismatch:\n in=%+v\nout=%+v", in, out)
+	}
+}
+
+// TestReportJSONDeterministic pins the sorted-key rendering of ByFunction:
+// the same report must serialize to the same bytes on every call.
+func TestReportJSONDeterministic(t *testing.T) {
+	in := sampleReport()
+	first, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		d, err := json.Marshal(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first, d) {
+			t.Fatalf("encode %d differs:\n%s\nvs\n%s", i, first, d)
+		}
+	}
+	// Keys appear in sorted order inside the by_function object.
+	s := string(first)
+	prev := -1
+	for _, k := range []string{"AOI21", "BUF", "DFF", "NAND2", "XOR2"} {
+		idx := strings.Index(s, `"`+k+`"`)
+		if idx < 0 {
+			t.Fatalf("missing function %q in %s", k, s)
+		}
+		if idx < prev {
+			t.Fatalf("function %q out of sorted order in %s", k, s)
+		}
+		prev = idx
+	}
+}
+
+func TestFunctionBreakdownSorted(t *testing.T) {
+	r := sampleReport()
+	fns := r.FunctionBreakdown()
+	if len(fns) != len(r.ByFunction) {
+		t.Fatalf("breakdown has %d entries, want %d", len(fns), len(r.ByFunction))
+	}
+	if !sort.SliceIsSorted(fns, func(i, j int) bool { return fns[i].Func < fns[j].Func }) {
+		t.Fatalf("breakdown not sorted: %+v", fns)
+	}
+	for _, fp := range fns {
+		if r.ByFunction[fp.Func] != fp.MW {
+			t.Fatalf("breakdown value mismatch for %s", fp.Func)
+		}
+	}
+	// The text table follows the same order and is stable across calls.
+	first := r.FunctionTable()
+	for i := 0; i < 20; i++ {
+		if got := r.FunctionTable(); got != first {
+			t.Fatalf("function table differs across calls:\n%s\nvs\n%s", first, got)
+		}
+	}
+	if !strings.Contains(first, "DFF") || !strings.Contains(first, "share") {
+		t.Fatalf("unexpected table:\n%s", first)
+	}
+}

@@ -9,6 +9,8 @@ package power
 import (
 	"fmt"
 	"math"
+	"sort"
+	"strings"
 
 	"tmi3d/internal/liberty"
 	"tmi3d/internal/netlist"
@@ -18,8 +20,8 @@ import (
 // Activities holds the asserted switching activity factors (transitions per
 // clock cycle).
 type Activities struct {
-	PrimaryInput float64 // default 0.2
-	SeqOutput    float64 // default 0.1
+	PrimaryInput float64 `json:"primary_input"` // default 0.2
+	SeqOutput    float64 `json:"seq_output"`    // default 0.1
 }
 
 // DefaultActivities are the paper's settings.
@@ -27,22 +29,60 @@ func DefaultActivities() Activities {
 	return Activities{PrimaryInput: 0.2, SeqOutput: 0.1}
 }
 
-// Report is the full power breakdown, in mW.
+// Report is the full power breakdown, in mW. The JSON encoding is
+// deterministic: encoding/json renders ByFunction with sorted keys, so the
+// same report always produces the same bytes (the property the serving
+// layer's byte-identity contract relies on).
 type Report struct {
-	Total   float64
-	Cell    float64 // cell-internal dynamic power
-	Net     float64 // net switching power = Wire + Pin
-	Wire    float64
-	Pin     float64
-	Leakage float64
+	Total   float64 `json:"total_mw"`
+	Cell    float64 `json:"cell_mw"` // cell-internal dynamic power
+	Net     float64 `json:"net_mw"`  // net switching power = Wire + Pin
+	Wire    float64 `json:"wire_mw"`
+	Pin     float64 `json:"pin_mw"`
+	Leakage float64 `json:"leakage_mw"`
 	// WireCap and PinCap are the total switched capacitances, pF (Table 16).
-	WireCap float64
-	PinCap  float64
+	WireCap float64 `json:"wire_cap_pf"`
+	PinCap  float64 `json:"pin_cap_pf"`
 	// NetActivity is the average propagated activity over nets.
-	NetActivity float64
+	NetActivity float64 `json:"net_activity"`
 	// ByFunction splits the cell-internal power per cell function (mW) —
-	// e.g. how much the buffers or the flops burn.
-	ByFunction map[string]float64
+	// e.g. how much the buffers or the flops burn. Renderers must iterate it
+	// through FunctionBreakdown, never by ranging the map.
+	ByFunction map[string]float64 `json:"by_function,omitempty"`
+}
+
+// FunctionPower is one ByFunction entry in the canonical order.
+type FunctionPower struct {
+	Func string  `json:"func"`
+	MW   float64 `json:"mw"`
+}
+
+// FunctionBreakdown returns the per-function cell power sorted by function
+// name — the one iteration order every renderer (text and JSON alike) uses,
+// so two runs of the same design always present the split identically.
+func (r *Report) FunctionBreakdown() []FunctionPower {
+	out := make([]FunctionPower, 0, len(r.ByFunction))
+	for f, p := range r.ByFunction {
+		out = append(out, FunctionPower{Func: f, MW: p})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Func < out[j].Func })
+	return out
+}
+
+// FunctionTable renders the per-function split as an aligned text table with
+// each function's share of the total cell-internal power.
+func (r *Report) FunctionTable() string {
+	var b strings.Builder
+	b.WriteString("cell power by function\n")
+	fmt.Fprintf(&b, "%-10s  %10s  %6s\n", "function", "mW", "share")
+	for _, fp := range r.FunctionBreakdown() {
+		share := 0.0
+		if r.Cell > 0 {
+			share = 100 * fp.MW / r.Cell
+		}
+		fmt.Fprintf(&b, "%-10s  %10.4f  %5.1f%%\n", fp.Func, fp.MW, share)
+	}
+	return b.String()
 }
 
 // Env bundles the analysis inputs.

@@ -1,0 +1,44 @@
+// Package serve is the PPA-as-a-service layer: an HTTP daemon that answers
+// power/performance/area queries over the full design flow, backed by a
+// persistent content-addressed result store, an in-memory LRU, and a bounded
+// job queue with singleflight deduplication and backpressure.
+//
+// The serving contract is byte-identity: a response for a flow configuration
+// is exactly EncodeResult(flow.Run(cfg)) — whether it was computed on this
+// request, deduplicated onto a concurrent identical request, read back from
+// the on-disk store, or served from the LRU. Everything in the package is
+// built to preserve that property (canonical JSON, checksummed store
+// entries, deterministic flow seeds).
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"tmi3d/internal/flow"
+)
+
+// EncodeResult renders the canonical wire encoding of a flow result: compact
+// JSON with sorted map keys and unescaped HTML, terminated by a newline.
+// Two encodings of equal results are byte-identical; this is the payload
+// stored on disk, cached in the LRU, and served to clients.
+func EncodeResult(r *flow.Result) ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(r); err != nil {
+		return nil, fmt.Errorf("serve: encode result: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeResult parses a payload written by EncodeResult. The returned result
+// carries no Design/Placement (they never go over the wire).
+func DecodeResult(data []byte) (*flow.Result, error) {
+	var r flow.Result
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("serve: decode result: %w", err)
+	}
+	return &r, nil
+}

@@ -1,0 +1,208 @@
+package serve
+
+import (
+	"fmt"
+	"net/url"
+	"strconv"
+	"strings"
+
+	"tmi3d/internal/circuits"
+	"tmi3d/internal/flow"
+	"tmi3d/internal/lint"
+	"tmi3d/internal/tech"
+)
+
+// Query-parameter surface of a flow configuration. ParseConfig and
+// ConfigQuery are exact inverses over the supported fields, so the load
+// generator can construct the same key the daemon will cache under.
+// Parsing is strict: an unknown parameter is a 400, not a silent ignore — a
+// typoed "clock=" must not quietly serve the default-clock result.
+
+// reservedParams are request-level parameters consumed by the HTTP layer,
+// not part of the flow configuration.
+var reservedParams = map[string]bool{"timeout_ms": true}
+
+// ParseConfig builds a flow.Config from URL query parameters. Defaults match
+// a zero-value flow.Config (gates enforced, Table 12 clock, default
+// utilization), except Scale, which is normalized to its effective 1.0 so
+// "unset" and "1.0" share a cache key.
+func ParseConfig(q url.Values) (flow.Config, error) {
+	var cfg flow.Config
+	cfg.Scale = 1.0
+	seen := map[string]bool{}
+	getf := func(name string, dst *float64) error {
+		v := q.Get(name)
+		seen[name] = true
+		if v == "" {
+			return nil
+		}
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return fmt.Errorf("param %s: %w", name, err)
+		}
+		*dst = f
+		return nil
+	}
+
+	seen["circuit"] = true
+	name := strings.ToUpper(q.Get("circuit"))
+	if name == "" {
+		return cfg, fmt.Errorf("param circuit is required (one of %s)", strings.Join(circuits.Names, ", "))
+	}
+	ok := false
+	for _, c := range circuits.Names {
+		if c == name {
+			ok = true
+		}
+	}
+	if !ok {
+		return cfg, fmt.Errorf("unknown circuit %q (one of %s)", name, strings.Join(circuits.Names, ", "))
+	}
+	cfg.Circuit = name
+
+	if err := getf("scale", &cfg.Scale); err != nil {
+		return cfg, err
+	}
+	if cfg.Scale <= 0 {
+		return cfg, fmt.Errorf("param scale must be > 0")
+	}
+
+	seen["node"] = true
+	switch q.Get("node") {
+	case "", "45", "45nm":
+		cfg.Node = tech.N45
+	case "7", "7nm":
+		cfg.Node = tech.N7
+	default:
+		return cfg, fmt.Errorf("unknown node %q (45 or 7)", q.Get("node"))
+	}
+
+	seen["mode"] = true
+	switch strings.ToLower(q.Get("mode")) {
+	case "", "2d":
+		cfg.Mode = tech.Mode2D
+	case "tmi", "3d":
+		cfg.Mode = tech.ModeTMI
+	case "tmim", "3d+m":
+		cfg.Mode = tech.ModeTMIM
+	default:
+		return cfg, fmt.Errorf("unknown mode %q (2d, tmi or tmim)", q.Get("mode"))
+	}
+
+	if err := getf("clock", &cfg.ClockPs); err != nil {
+		return cfg, err
+	}
+	if err := getf("util", &cfg.Util); err != nil {
+		return cfg, err
+	}
+	if err := getf("pincap", &cfg.PinCapScale); err != nil {
+		return cfg, err
+	}
+	if err := getf("act_pi", &cfg.Activities.PrimaryInput); err != nil {
+		return cfg, err
+	}
+	if err := getf("act_seq", &cfg.Activities.SeqOutput); err != nil {
+		return cfg, err
+	}
+
+	seen["wlm2d"] = true
+	if v := q.Get("wlm2d"); v != "" {
+		b, err := strconv.ParseBool(v)
+		if err != nil {
+			return cfg, fmt.Errorf("param wlm2d: %w", err)
+		}
+		cfg.Use2DWLM = b
+	}
+
+	seen["seed"] = true
+	if v := q.Get("seed"); v != "" {
+		u, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			return cfg, fmt.Errorf("param seed: %w", err)
+		}
+		cfg.Seed = u
+	}
+
+	for _, p := range []struct {
+		name string
+		dst  *lint.GateMode
+	}{{"lint", &cfg.Lint}, {"equiv", &cfg.Equiv}} {
+		seen[p.name] = true
+		switch q.Get(p.name) {
+		case "", "enforce":
+			*p.dst = lint.GateEnforce
+		case "warn":
+			*p.dst = lint.GateWarnOnly
+		case "off":
+			*p.dst = lint.GateOff
+		default:
+			return cfg, fmt.Errorf("param %s: unknown gate mode %q (enforce, warn or off)", p.name, q.Get(p.name))
+		}
+	}
+
+	for k := range q {
+		if !seen[k] && !reservedParams[k] {
+			return cfg, fmt.Errorf("unknown parameter %q", k)
+		}
+	}
+	return cfg, nil
+}
+
+// ConfigQuery renders a configuration as the query parameters ParseConfig
+// parses back to it. Only fields representable as parameters are emitted;
+// ResistivityScale (POST-body-only) must be zero.
+func ConfigQuery(cfg flow.Config) url.Values {
+	q := url.Values{}
+	q.Set("circuit", cfg.Circuit)
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	if cfg.Scale != 0 {
+		q.Set("scale", f(cfg.Scale))
+	}
+	if cfg.Node == tech.N7 {
+		q.Set("node", "7")
+	} else {
+		q.Set("node", "45")
+	}
+	switch cfg.Mode {
+	case tech.ModeTMI:
+		q.Set("mode", "tmi")
+	case tech.ModeTMIM:
+		q.Set("mode", "tmim")
+	default:
+		q.Set("mode", "2d")
+	}
+	if cfg.ClockPs != 0 {
+		q.Set("clock", f(cfg.ClockPs))
+	}
+	if cfg.Util != 0 {
+		q.Set("util", f(cfg.Util))
+	}
+	if cfg.PinCapScale != 0 {
+		q.Set("pincap", f(cfg.PinCapScale))
+	}
+	if cfg.Activities.PrimaryInput != 0 {
+		q.Set("act_pi", f(cfg.Activities.PrimaryInput))
+	}
+	if cfg.Activities.SeqOutput != 0 {
+		q.Set("act_seq", f(cfg.Activities.SeqOutput))
+	}
+	if cfg.Use2DWLM {
+		q.Set("wlm2d", "true")
+	}
+	if cfg.Seed != 0 {
+		q.Set("seed", strconv.FormatUint(cfg.Seed, 10))
+	}
+	switch cfg.Lint {
+	case lint.GateWarnOnly:
+		q.Set("lint", "warn")
+	case lint.GateOff:
+		q.Set("lint", "off")
+	}
+	switch cfg.Equiv {
+	case lint.GateWarnOnly:
+		q.Set("equiv", "warn")
+	case lint.GateOff:
+		q.Set("equiv", "off")
+	}
+	return q
+}

@@ -1,0 +1,62 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lruCache is a fixed-capacity in-memory cache of encoded payloads, sitting
+// in front of the on-disk store: the hot working set is served without
+// touching the filesystem. Entries are whole response payloads keyed by the
+// store key; eviction is least-recently-used.
+type lruCache struct {
+	mu    sync.Mutex
+	max   int
+	ll    *list.List // front = most recent; values are *lruEntry
+	items map[string]*list.Element
+}
+
+type lruEntry struct {
+	key  string
+	data []byte
+}
+
+func newLRU(max int) *lruCache {
+	if max < 1 {
+		max = 1
+	}
+	return &lruCache{max: max, ll: list.New(), items: map[string]*list.Element{}}
+}
+
+func (c *lruCache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).data, true
+}
+
+func (c *lruCache) Add(key string, data []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*lruEntry).data = data
+		return
+	}
+	c.items[key] = c.ll.PushFront(&lruEntry{key: key, data: data})
+	for c.ll.Len() > c.max {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.items, last.Value.(*lruEntry).key)
+	}
+}
+
+func (c *lruCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,486 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tmi3d/internal/flow"
+	"tmi3d/internal/power"
+)
+
+// stubResult builds a small deterministic result for a config — the serving
+// layer must treat it exactly like a real flow result.
+func stubResult(cfg flow.Config) *flow.Result {
+	return &flow.Result{
+		Config:    cfg,
+		Footprint: 100 + float64(cfg.Seed),
+		DieW:      10, DieH: 10 + float64(cfg.Mode),
+		NumCells: 42,
+		WNS:      1.5,
+		ClockPs:  400,
+		Power: &power.Report{
+			Total: 2, Cell: 1, Net: 0.5, Wire: 0.3, Pin: 0.2, Leakage: 0.5,
+			ByFunction: map[string]float64{"DFF": 0.5, "NAND2": 0.5},
+		},
+		StageTimes: []flow.StageTime{{Stage: "synth", D: time.Millisecond}},
+	}
+}
+
+func newTestServer(t *testing.T, cfg Config, runFlow func(flow.Config) (*flow.Result, error)) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.StoreDir == "" {
+		cfg.StoreDir = t.TempDir()
+	}
+	s, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.runFlow = runFlow
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Shutdown(context.Background())
+	})
+	return s, ts
+}
+
+func get(t *testing.T, url string) (int, http.Header, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header, body
+}
+
+// TestSingleflight64Workers is the acceptance-criterion test: 64 concurrent
+// identical requests cost exactly one flow execution, every response is
+// byte-identical to the direct encoding, and the metrics show the traffic.
+func TestSingleflight64Workers(t *testing.T) {
+	var runs atomic.Int64
+	release := make(chan struct{})
+	s, ts := newTestServer(t, Config{Workers: 4, QueueDepth: 8},
+		func(cfg flow.Config) (*flow.Result, error) {
+			runs.Add(1)
+			<-release
+			return stubResult(cfg), nil
+		})
+
+	const n = 64
+	url := ts.URL + "/v1/ppa?circuit=FPU&scale=0.1&seed=7"
+	codes := make([]int, n)
+	bodies := make([][]byte, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Get(url)
+			if err != nil {
+				t.Errorf("request %d: %v", i, err)
+				return
+			}
+			defer resp.Body.Close()
+			codes[i] = resp.StatusCode
+			bodies[i], _ = io.ReadAll(resp.Body)
+		}(i)
+	}
+	// Hold the one job until every request has arrived (each must miss the
+	// cache and join), then let it finish — maximal contention, zero luck.
+	deadline := time.Now().Add(10 * time.Second)
+	for s.metrics.CounterValue("tmi3d_cache_misses_total", "") < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %v misses arrived", s.metrics.CounterValue("tmi3d_cache_misses_total", ""))
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	if got := runs.Load(); got != 1 {
+		t.Fatalf("flow executions = %d, want exactly 1", got)
+	}
+	cfg, err := ParseConfig(mustQuery("circuit=FPU&scale=0.1&seed=7"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := EncodeResult(stubResult(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if codes[i] != 200 {
+			t.Fatalf("request %d: status %d (%s)", i, codes[i], bodies[i])
+		}
+		if string(bodies[i]) != string(want) {
+			t.Fatalf("request %d body differs from direct encoding:\n%s\nvs\n%s", i, bodies[i], want)
+		}
+	}
+	if joins := s.metrics.CounterValue("tmi3d_singleflight_joins_total", ""); joins != n-1 {
+		t.Fatalf("singleflight joins = %v, want %d", joins, n-1)
+	}
+
+	// One more request now hits the LRU; /metrics must report non-zero
+	// hit/miss and latency counters.
+	code, hdr, _ := get(t, url)
+	if code != 200 || hdr.Get("X-Cache") != "lru" {
+		t.Fatalf("warm request: status %d cache %q", code, hdr.Get("X-Cache"))
+	}
+	_, _, metrics := get(t, ts.URL+"/metrics")
+	for _, want := range []string{
+		`tmi3d_cache_hits_total{tier="lru"} 1`,
+		"tmi3d_cache_misses_total 64",
+		`tmi3d_request_seconds_count{endpoint="ppa"} 65`,
+		"tmi3d_flow_runs_total 1",
+		`tmi3d_flow_stage_seconds_total{stage="synth"}`,
+	} {
+		if !strings.Contains(string(metrics), want) {
+			t.Fatalf("metrics missing %q:\n%s", want, metrics)
+		}
+	}
+}
+
+func mustQuery(raw string) map[string][]string {
+	q := map[string][]string{}
+	for _, kv := range strings.Split(raw, "&") {
+		parts := strings.SplitN(kv, "=", 2)
+		q[parts[0]] = append(q[parts[0]], parts[1])
+	}
+	return q
+}
+
+// TestQueueFullReturns429 fills one worker and a depth-1 queue with blocked
+// jobs; the next distinct request must be rejected with 429 and an estimate
+// in Retry-After — backpressure, not an invisible backlog.
+func TestQueueFullReturns429(t *testing.T) {
+	started := make(chan struct{}, 8)
+	release := make(chan struct{})
+	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1},
+		func(cfg flow.Config) (*flow.Result, error) {
+			started <- struct{}{}
+			<-release
+			return stubResult(cfg), nil
+		})
+
+	urlFor := func(seed int) string {
+		return ts.URL + "/v1/ppa?circuit=FPU&scale=0.1&seed=" + strconv.Itoa(seed)
+	}
+	results := make(chan int, 2)
+	go func() { c, _, _ := get(t, urlFor(1)); results <- c }()
+	<-started // job 1 is running in the single worker
+	go func() { c, _, _ := get(t, urlFor(2)); results <- c }()
+	// Wait until job 2 occupies the queue slot.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		s.mu.Lock()
+		queued := s.queued
+		s.mu.Unlock()
+		if queued == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("second job never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	code, hdr, body := get(t, urlFor(3))
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("third request: status %d (%s), want 429", code, body)
+	}
+	ra, err := strconv.Atoi(hdr.Get("Retry-After"))
+	if err != nil || ra < 1 {
+		t.Fatalf("Retry-After = %q, want a positive integer", hdr.Get("Retry-After"))
+	}
+	if v := s.metrics.CounterValue("tmi3d_queue_rejected_total", ""); v != 1 {
+		t.Fatalf("rejected counter = %v, want 1", v)
+	}
+
+	close(release)
+	for i := 0; i < 2; i++ {
+		if c := <-results; c != 200 {
+			t.Fatalf("blocked request finished with %d", c)
+		}
+	}
+}
+
+// TestDeadlineExceeded: a request that times out gets 504, but the flow
+// keeps running and warms the cache for the retry.
+func TestDeadlineExceeded(t *testing.T) {
+	release := make(chan struct{})
+	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4},
+		func(cfg flow.Config) (*flow.Result, error) {
+			<-release
+			return stubResult(cfg), nil
+		})
+	url := ts.URL + "/v1/ppa?circuit=FPU&scale=0.1"
+	code, _, body := get(t, url+"&timeout_ms=50")
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("status %d (%s), want 504", code, body)
+	}
+	close(release)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		code, hdr, _ := get(t, url)
+		if code == 200 {
+			if src := hdr.Get("X-Cache"); src != "lru" && src != "disk" {
+				t.Fatalf("post-timeout hit came from %q, want a cache tier", src)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("abandoned job never warmed the cache")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	_ = s
+}
+
+// TestRestartServesFromDisk: a result computed by one daemon process is
+// served by the next from the persistent store without re-running the flow.
+func TestRestartServesFromDisk(t *testing.T) {
+	dir := t.TempDir()
+	_, ts1 := newTestServer(t, Config{StoreDir: dir, Workers: 2},
+		func(cfg flow.Config) (*flow.Result, error) { return stubResult(cfg), nil })
+	url1 := ts1.URL + "/v1/ppa?circuit=AES&scale=0.2"
+	code, _, body1 := get(t, url1)
+	if code != 200 {
+		t.Fatalf("first run: %d (%s)", code, body1)
+	}
+
+	_, ts2 := newTestServer(t, Config{StoreDir: dir, Workers: 2},
+		func(cfg flow.Config) (*flow.Result, error) {
+			t.Error("flow re-executed despite persisted result")
+			return stubResult(cfg), nil
+		})
+	code, hdr, body2 := get(t, ts2.URL+"/v1/ppa?circuit=AES&scale=0.2")
+	if code != 200 || hdr.Get("X-Cache") != "disk" {
+		t.Fatalf("restart: status %d cache %q", code, hdr.Get("X-Cache"))
+	}
+	if string(body1) != string(body2) {
+		t.Fatal("restart served different bytes")
+	}
+}
+
+func TestCompareEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2, QueueDepth: 8},
+		func(cfg flow.Config) (*flow.Result, error) {
+			r := stubResult(cfg)
+			if cfg.Mode.Is3D() {
+				r.Footprint = 50 // -50% vs the 2D stub's 100
+			}
+			return r, nil
+		})
+	code, _, body := get(t, ts.URL+"/v1/compare?circuit=LDPC&scale=0.1")
+	if code != 200 {
+		t.Fatalf("compare: %d (%s)", code, body)
+	}
+	var resp struct {
+		D2   json.RawMessage   `json:"2d"`
+		TMI  json.RawMessage   `json:"tmi"`
+		Diff map[string]string `json:"diff"`
+	}
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatalf("compare response: %v\n%s", err, body)
+	}
+	if len(resp.D2) == 0 || len(resp.TMI) == 0 {
+		t.Fatal("compare response missing sides")
+	}
+	if resp.Diff["footprint"] != "-50.0%" {
+		t.Fatalf("footprint diff = %q, want -50.0%%", resp.Diff["footprint"])
+	}
+	// mode= is meaningless on compare and must be rejected.
+	code, _, _ = get(t, ts.URL+"/v1/compare?circuit=LDPC&scale=0.1&mode=tmi")
+	if code != http.StatusBadRequest {
+		t.Fatalf("compare with mode=: status %d, want 400", code)
+	}
+}
+
+func TestPostConfig(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2},
+		func(cfg flow.Config) (*flow.Result, error) { return stubResult(cfg), nil })
+	cfg := flow.Config{Circuit: "DES", Scale: 0.1, ClockPs: 500.25}
+	body, _ := json.Marshal(cfg)
+	resp, err := http.Post(ts.URL+"/v1/ppa", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != 200 {
+		t.Fatalf("POST: %d (%s)", resp.StatusCode, data)
+	}
+	r, err := DecodeResult(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Config.Circuit != "DES" || r.Config.ClockPs != 500.25 {
+		t.Fatalf("POST served config %+v", r.Config)
+	}
+	// A GET with the equivalent query shares the POST's cache entry.
+	code, hdr, _ := get(t, ts.URL+"/v1/ppa?"+ConfigQuery(flow.Config{Circuit: "DES", Scale: 0.1, ClockPs: 500.25}).Encode())
+	if code != 200 || hdr.Get("X-Cache") != "lru" {
+		t.Fatalf("GET after POST: status %d cache %q", code, hdr.Get("X-Cache"))
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, MaxScale: 0.5},
+		func(cfg flow.Config) (*flow.Result, error) { return stubResult(cfg), nil })
+	for _, tc := range []struct {
+		path string
+		code int
+	}{
+		{"/v1/ppa", 400},                        // missing circuit
+		{"/v1/ppa?circuit=NOPE", 400},           // unknown circuit
+		{"/v1/ppa?circuit=FPU&clocks=5", 400},   // typoed param
+		{"/v1/ppa?circuit=FPU&scale=0.9", 400},  // above MaxScale
+		{"/v1/ppa?circuit=FPU&mode=4d", 400},    // bad mode
+		{"/v1/experiment/table99", 404},         // unknown experiment
+		{"/v1/experiment/table1?scale=-1", 400}, // bad scale
+		{"/nope", 404},                          // unknown route
+	} {
+		code, _, body := get(t, ts.URL+tc.path)
+		if code != tc.code {
+			t.Errorf("%s: status %d (%s), want %d", tc.path, code, body, tc.code)
+		}
+	}
+}
+
+func TestExperimentStatic(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1},
+		func(cfg flow.Config) (*flow.Result, error) { return stubResult(cfg), nil })
+	code, hdr, body := get(t, ts.URL+"/v1/experiment/table1")
+	if code != 200 {
+		t.Fatalf("table1: %d (%s)", code, body)
+	}
+	if !strings.Contains(hdr.Get("Content-Type"), "text/plain") {
+		t.Fatalf("content type %q", hdr.Get("Content-Type"))
+	}
+	if len(body) == 0 {
+		t.Fatal("empty table")
+	}
+	// Second fetch is a cache hit with identical bytes.
+	code, hdr2, body2 := get(t, ts.URL+"/v1/experiment/table1")
+	if code != 200 || hdr2.Get("X-Cache") == "run" {
+		t.Fatalf("repeat fetch: status %d cache %q", code, hdr2.Get("X-Cache"))
+	}
+	if string(body) != string(body2) {
+		t.Fatal("table render not byte-stable")
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 3},
+		func(cfg flow.Config) (*flow.Result, error) { return stubResult(cfg), nil })
+	code, _, body := get(t, ts.URL+"/healthz")
+	if code != 200 {
+		t.Fatalf("healthz: %d", code)
+	}
+	var h map[string]any
+	if err := json.Unmarshal(body, &h); err != nil {
+		t.Fatal(err)
+	}
+	if h["status"] != "ok" || h["workers"] != float64(3) {
+		t.Fatalf("healthz body: %s", body)
+	}
+}
+
+// TestGracefulShutdown uses a real listener: Shutdown must stop accepting
+// new connections while the in-flight request completes successfully and
+// its result still lands in the persistent store.
+func TestGracefulShutdown(t *testing.T) {
+	started := make(chan struct{}, 1)
+	release := make(chan struct{})
+	dir := t.TempDir()
+	s, err := NewServer(Config{StoreDir: dir, Workers: 1, QueueDepth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.runFlow = func(cfg flow.Config) (*flow.Result, error) {
+		started <- struct{}{}
+		<-release
+		return stubResult(cfg), nil
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- s.Serve(l) }()
+	addr := l.Addr().String()
+
+	type reply struct {
+		code int
+		body []byte
+		err  error
+	}
+	inflight := make(chan reply, 1)
+	go func() {
+		resp, err := http.Get("http://" + addr + "/v1/ppa?circuit=M256&scale=0.1")
+		if err != nil {
+			inflight <- reply{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		inflight <- reply{code: resp.StatusCode, body: b}
+	}()
+	<-started
+
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		shutdownDone <- s.Shutdown(ctx)
+	}()
+
+	// The listener must stop accepting while the in-flight job drains.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		conn, err := net.DialTimeout("tcp", addr, 200*time.Millisecond)
+		if err != nil {
+			break
+		}
+		conn.Close()
+		if time.Now().After(deadline) {
+			t.Fatal("listener still accepting after Shutdown")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	close(release)
+	r := <-inflight
+	if r.err != nil || r.code != 200 {
+		t.Fatalf("in-flight request: code=%d err=%v", r.code, r.err)
+	}
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if err := <-serveDone; err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	// The drained job's result persisted.
+	store, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := store.Len(); err != nil || n != 1 {
+		t.Fatalf("store holds %d entries after drain (err %v), want 1", n, err)
+	}
+}

@@ -1,0 +1,124 @@
+package sta
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+)
+
+// JSON codec for Result. Timing vectors legitimately carry non-finite
+// values — unreached nets keep their -Inf initial arrival, and WNS starts at
+// +Inf before endpoints fold in — but encoding/json rejects non-finite
+// floats outright. Result therefore implements its own codec: non-finite
+// values travel as the strings "+Inf", "-Inf" and "NaN", finite values as
+// ordinary numbers, and a decoded Result re-encodes to identical bytes.
+
+// nfFloat is a float64 whose JSON form tolerates non-finite values.
+type nfFloat float64
+
+func (f nfFloat) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	switch {
+	case math.IsNaN(v):
+		return []byte(`"NaN"`), nil
+	case math.IsInf(v, 1):
+		return []byte(`"+Inf"`), nil
+	case math.IsInf(v, -1):
+		return []byte(`"-Inf"`), nil
+	}
+	return json.Marshal(v)
+}
+
+func (f *nfFloat) UnmarshalJSON(b []byte) error {
+	if len(b) > 0 && b[0] == '"' {
+		var s string
+		if err := json.Unmarshal(b, &s); err != nil {
+			return err
+		}
+		switch s {
+		case "NaN":
+			*f = nfFloat(math.NaN())
+		case "+Inf":
+			*f = nfFloat(math.Inf(1))
+		case "-Inf":
+			*f = nfFloat(math.Inf(-1))
+		default:
+			return fmt.Errorf("sta: invalid non-finite float %q", s)
+		}
+		return nil
+	}
+	var v float64
+	if err := json.Unmarshal(b, &v); err != nil {
+		return err
+	}
+	*f = nfFloat(v)
+	return nil
+}
+
+func toNF(v []float64) []nfFloat {
+	if v == nil {
+		return nil
+	}
+	out := make([]nfFloat, len(v))
+	for i, x := range v {
+		out[i] = nfFloat(x)
+	}
+	return out
+}
+
+func fromNF(v []nfFloat) []float64 {
+	if v == nil {
+		return nil
+	}
+	out := make([]float64, len(v))
+	for i, x := range v {
+		out[i] = float64(x)
+	}
+	return out
+}
+
+// resultJSON is the stable wire shape of a Result.
+type resultJSON struct {
+	Arrival     []nfFloat `json:"arrival_ps"`
+	Slew        []nfFloat `json:"slew_ps"`
+	Required    []nfFloat `json:"required_ps"`
+	Load        []nfFloat `json:"load_ff"`
+	WNS         nfFloat   `json:"wns_ps"`
+	TNS         nfFloat   `json:"tns_ps"`
+	HoldWNS     nfFloat   `json:"hold_wns_ps"`
+	CriticalNet int       `json:"critical_net"`
+	ClockPs     float64   `json:"clock_ps"`
+}
+
+// MarshalJSON encodes the result with non-finite-safe floats.
+func (r *Result) MarshalJSON() ([]byte, error) {
+	return json.Marshal(resultJSON{
+		Arrival:     toNF(r.Arrival),
+		Slew:        toNF(r.Slew),
+		Required:    toNF(r.Required),
+		Load:        toNF(r.Load),
+		WNS:         nfFloat(r.WNS),
+		TNS:         nfFloat(r.TNS),
+		HoldWNS:     nfFloat(r.HoldWNS),
+		CriticalNet: r.CriticalNet,
+		ClockPs:     r.ClockPs,
+	})
+}
+
+// UnmarshalJSON restores a result written by MarshalJSON.
+func (r *Result) UnmarshalJSON(b []byte) error {
+	var in resultJSON
+	if err := json.Unmarshal(b, &in); err != nil {
+		return err
+	}
+	r.Arrival = fromNF(in.Arrival)
+	r.Slew = fromNF(in.Slew)
+	r.Required = fromNF(in.Required)
+	r.Load = fromNF(in.Load)
+	r.WNS = float64(in.WNS)
+	r.TNS = float64(in.TNS)
+	r.HoldWNS = float64(in.HoldWNS)
+	r.CriticalNet = in.CriticalNet
+	r.ClockPs = in.ClockPs
+	return nil
+}

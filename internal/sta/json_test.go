@@ -1,0 +1,61 @@
+package sta
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+// TestResultJSONRoundTrip exercises the non-finite-safe codec: unreached
+// nets carry -Inf arrivals and the summary metrics can be ±Inf, all of which
+// plain encoding/json rejects. The codec must round-trip them exactly and
+// re-encode to identical bytes.
+func TestResultJSONRoundTrip(t *testing.T) {
+	in := &Result{
+		Arrival:     []float64{0, 12.5, math.Inf(-1), 40},
+		Slew:        []float64{20, 21.5, math.NaN(), 25},
+		Required:    []float64{100, 90, math.Inf(1), 80},
+		Load:        []float64{1.5, 2.5, 0, 4},
+		WNS:         math.Inf(1),
+		TNS:         0,
+		HoldWNS:     -3.5,
+		CriticalNet: 2,
+		ClockPs:     400,
+	}
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Result
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Arrival) != 4 || !math.IsInf(out.Arrival[2], -1) {
+		t.Fatalf("arrival not restored: %v", out.Arrival)
+	}
+	if !math.IsNaN(out.Slew[2]) {
+		t.Fatalf("NaN slew not restored: %v", out.Slew)
+	}
+	if !math.IsInf(out.Required[2], 1) {
+		t.Fatalf("+Inf required not restored: %v", out.Required)
+	}
+	if !math.IsInf(out.WNS, 1) || out.HoldWNS != -3.5 || out.CriticalNet != 2 || out.ClockPs != 400 {
+		t.Fatalf("summary fields not restored: %+v", out)
+	}
+	data2, err := json.Marshal(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, data2) {
+		t.Fatalf("re-encode not byte-identical:\n%s\nvs\n%s", data, data2)
+	}
+}
+
+func TestResultJSONRejectsBadSentinel(t *testing.T) {
+	var out Result
+	err := json.Unmarshal([]byte(`{"arrival_ps":["huge"]}`), &out)
+	if err == nil {
+		t.Fatal("expected error for invalid non-finite sentinel")
+	}
+}

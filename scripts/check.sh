@@ -26,7 +26,12 @@ echo "== parallel experiments determinism"
 # The experiment engine's contract: the report is byte-identical at any -j.
 # Run a real (small) experiment serially and at -j 4 and diff the outputs.
 pdir=$(mktemp -d)
-trap 'rm -rf "$pdir"' EXIT
+serve_pid=""
+cleanup() {
+    [ -n "$serve_pid" ] && kill "$serve_pid" 2>/dev/null || true
+    rm -rf "$pdir"
+}
+trap cleanup EXIT
 go run ./cmd/experiments -scale 0.1 -only table16 -j 1 -out "$pdir/j1.txt" >/dev/null
 go run ./cmd/experiments -scale 0.1 -only table16 -j 4 -out "$pdir/j4.txt" >/dev/null
 if ! diff -u "$pdir/j1.txt" "$pdir/j4.txt"; then
@@ -42,5 +47,30 @@ if go run ./cmd/tmi3d equiv -circuit FPU -scale 0.1 -corrupt swapgate >/dev/null
     echo "equiv failed to detect injected swapgate corruption" >&2
     exit 1
 fi
+
+echo "== serve smoke"
+# The serving layer's contract: a daemon answer is byte-identical to a direct
+# flow.Run. Boot on an ephemeral port, probe /healthz, fetch one flow result
+# twice (cold then cached), and diff against the direct encoding via loadgen.
+go build -o "$pdir/tmi3d" ./cmd/tmi3d
+go build -o "$pdir/loadgen" ./cmd/loadgen
+"$pdir/tmi3d" serve -addr 127.0.0.1:0 -store "$pdir/store" \
+    -addrfile "$pdir/addr" 2>"$pdir/serve.log" &
+serve_pid=$!
+for _ in $(seq 1 100); do [ -s "$pdir/addr" ] && break; sleep 0.1; done
+if [ ! -s "$pdir/addr" ]; then
+    echo "tmi3d serve never wrote its address:" >&2
+    cat "$pdir/serve.log" >&2
+    exit 1
+fi
+addr=$(tr -d '\n' <"$pdir/addr")
+if command -v curl >/dev/null; then
+    curl -sf "http://$addr/healthz" >/dev/null
+fi
+"$pdir/loadgen" -addr "$addr" -workers 8 -n 16 -circuit FPU -scale 0.1 \
+    -verify -check
+kill "$serve_pid"
+wait "$serve_pid" 2>/dev/null || true
+serve_pid=""
 
 echo "check.sh: all clean"
