@@ -82,6 +82,15 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 			Error: fmt.Sprintf("unknown experiment %q (one of %s)", id, strings.Join(ExperimentIDs(), ", "))})
 		return
 	}
+	// Same strict parsing contract as ParseConfig: a typoed parameter must
+	// not quietly serve the default render.
+	for k := range r.URL.Query() {
+		if k != "scale" && k != "seed" && !reservedParams[k] {
+			writeJSON(w, http.StatusBadRequest, errorBody{
+				Error: fmt.Sprintf("unknown parameter %q (scale, seed or timeout_ms)", k)})
+			return
+		}
+	}
 	scale := 0.5
 	if v := r.URL.Query().Get("scale"); v != "" {
 		f, err := strconv.ParseFloat(v, 64)

@@ -138,7 +138,23 @@ func seriesName(name, labels string) string {
 
 // WriteText renders the registry in Prometheus text exposition format
 // (version 0.0.4), sorted for stable output.
+//
+// Gauge samplers run before m.mu is taken: a sampler may acquire other locks
+// (the server's queue-depth gauge takes the job-table mutex), and holders of
+// those locks call Add, so sampling under m.mu would order the locks both
+// ways and deadlock a scrape against the hot path.
 func (m *Metrics) WriteText(w io.Writer) {
+	m.mu.Lock()
+	samplers := make(map[string]func() float64, len(m.gauges))
+	for name, f := range m.gauges {
+		samplers[name] = f
+	}
+	m.mu.Unlock()
+	gaugeVals := make(map[string]float64, len(samplers))
+	for name, f := range samplers {
+		gaugeVals[name] = f()
+	}
+
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for _, name := range m.names {
@@ -156,7 +172,7 @@ func (m *Metrics) WriteText(w io.Writer) {
 				fmt.Fprintf(w, "%s %s\n", seriesName(name, k), fmtFloat(series[k]))
 			}
 		case "gauge":
-			fmt.Fprintf(w, "%s %s\n", name, fmtFloat(m.gauges[name]()))
+			fmt.Fprintf(w, "%s %s\n", name, fmtFloat(gaugeVals[name]))
 		case "histogram":
 			series := m.hists[name]
 			keys := make([]string, 0, len(series))

@@ -11,11 +11,13 @@ import (
 	"net"
 	"net/http"
 	"runtime"
+	"runtime/debug"
 	"strconv"
 	"sync"
 	"time"
 
 	"tmi3d/internal/flow"
+	"tmi3d/internal/lint"
 	"tmi3d/internal/report"
 	"tmi3d/internal/tech"
 )
@@ -212,11 +214,25 @@ var (
 	errDraining = errors.New("server draining")
 )
 
+// runJob executes a job's compute closure, converting a panic into a job
+// error: a malformed configuration that trips an internal invariant must
+// cost its own request a 500, not crash the daemon's worker pool.
+func (s *Server) runJob(j *job) (data []byte, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			s.logger.Error("job panicked",
+				"key", j.key, "panic", fmt.Sprint(p), "stack", string(debug.Stack()))
+			err = fmt.Errorf("internal error: job panicked: %v", p)
+		}
+	}()
+	return j.fn()
+}
+
 func (s *Server) worker() {
 	defer s.wg.Done()
 	for j := range s.queue {
 		t0 := time.Now()
-		data, err := j.fn()
+		data, err := s.runJob(j)
 		if err == nil {
 			if perr := s.store.Put(j.key, data); perr != nil {
 				// A store failure degrades persistence, not correctness.
@@ -259,28 +275,35 @@ func (s *Server) retryAfterSeconds() int {
 	return est
 }
 
-// submit joins an existing job for key or admits a new one. The bounded
-// queue is the backpressure point: a full queue rejects immediately rather
-// than building an invisible backlog.
-func (s *Server) submit(key string, fn func() ([]byte, error)) (*job, error) {
+// submit joins an existing job for key (joined=true) or admits a new one.
+// The bounded queue is the backpressure point: a full queue rejects
+// immediately rather than building an invisible backlog.
+//
+// Metrics must be touched only after s.mu is released: the queue-depth gauge
+// samples s.mu from under Metrics.mu at scrape time, so calling Metrics.Add
+// while holding s.mu would order the two locks both ways (AB-BA deadlock).
+func (s *Server) submit(key string, fn func() ([]byte, error)) (*job, bool, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.draining {
-		return nil, errDraining
+		s.mu.Unlock()
+		return nil, false, errDraining
 	}
 	if j, ok := s.jobs[key]; ok {
+		s.mu.Unlock()
 		s.metrics.Add("tmi3d_singleflight_joins_total", "", 1)
-		return j, nil
+		return j, true, nil
 	}
 	j := &job{key: key, fn: fn, done: make(chan struct{})}
 	select {
 	case s.queue <- j:
 		s.jobs[key] = j
 		s.queued++
-		return j, nil
+		s.mu.Unlock()
+		return j, false, nil
 	default:
+		s.mu.Unlock()
 		s.metrics.Add("tmi3d_queue_rejected_total", "", 1)
-		return nil, errBusy
+		return nil, false, errBusy
 	}
 }
 
@@ -300,15 +323,12 @@ func (s *Server) getOrCompute(ctx context.Context, key string, fn func() ([]byte
 		return d, "disk", nil
 	}
 	s.metrics.Add("tmi3d_cache_misses_total", "", 1)
-	s.mu.Lock()
-	_, joining := s.jobs[key]
-	s.mu.Unlock()
-	j, err := s.submit(key, fn)
+	j, joined, err := s.submit(key, fn)
 	if err != nil {
 		return nil, "", err
 	}
 	source = "run"
-	if joining {
+	if joined {
 		source = "join"
 	}
 	select {
@@ -428,6 +448,37 @@ func (s *Server) requestConfig(r *http.Request) (flow.Config, error) {
 		// validation as GET (known circuit, positive scale).
 		if _, err := ParseConfig(ConfigQuery(flow.Config{Circuit: cfg.Circuit, Scale: cfg.Scale})); err != nil {
 			return cfg, err
+		}
+		// JSON decodes the enum fields as bare ints, and the flow panics on
+		// values outside the known sets — reject them at the boundary.
+		switch cfg.Node {
+		case tech.N45, tech.N7:
+		default:
+			return cfg, fmt.Errorf("body: unknown node %d (45nm=%d, 7nm=%d)", int(cfg.Node), int(tech.N45), int(tech.N7))
+		}
+		switch cfg.Mode {
+		case tech.Mode2D, tech.ModeTMI, tech.ModeTMIM:
+		default:
+			return cfg, fmt.Errorf("body: unknown mode %d (2d=%d, tmi=%d, tmim=%d)",
+				int(cfg.Mode), int(tech.Mode2D), int(tech.ModeTMI), int(tech.ModeTMIM))
+		}
+		for _, g := range []struct {
+			name string
+			mode lint.GateMode
+		}{{"lint", cfg.Lint}, {"equiv", cfg.Equiv}} {
+			switch g.mode {
+			case lint.GateEnforce, lint.GateWarnOnly, lint.GateOff:
+			default:
+				return cfg, fmt.Errorf("body: unknown %s gate mode %d (enforce=%d, warn=%d, off=%d)",
+					g.name, int(g.mode), int(lint.GateEnforce), int(lint.GateWarnOnly), int(lint.GateOff))
+			}
+		}
+		for class := range cfg.ResistivityScale {
+			switch class {
+			case tech.ClassM1, tech.ClassLocal, tech.ClassIntermediate, tech.ClassGlobal:
+			default:
+				return cfg, fmt.Errorf("body: unknown resistivity_scale layer class %d", int(class))
+			}
 		}
 		return cfg, nil
 	}

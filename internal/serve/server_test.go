@@ -353,12 +353,121 @@ func TestBadRequests(t *testing.T) {
 		{"/v1/ppa?circuit=FPU&mode=4d", 400},    // bad mode
 		{"/v1/experiment/table99", 404},         // unknown experiment
 		{"/v1/experiment/table1?scale=-1", 400}, // bad scale
+		{"/v1/experiment/table1?sead=7", 400},   // typoed experiment param
+		{"/v1/experiment/table1?mode=tmi", 400}, // param not on this endpoint
 		{"/nope", 404},                          // unknown route
 	} {
 		code, _, body := get(t, ts.URL+tc.path)
 		if code != tc.code {
 			t.Errorf("%s: status %d (%s), want %d", tc.path, code, body, tc.code)
 		}
+	}
+}
+
+// TestPostRejectsBadEnums: the POST body decodes enum fields as bare ints;
+// out-of-range values must be a 400 at the boundary, never reach the flow
+// (which panics on unknown nodes), and never crash the daemon.
+func TestPostRejectsBadEnums(t *testing.T) {
+	var runs atomic.Int64
+	_, ts := newTestServer(t, Config{Workers: 1},
+		func(cfg flow.Config) (*flow.Result, error) {
+			runs.Add(1)
+			return stubResult(cfg), nil
+		})
+	for _, body := range []string{
+		`{"circuit":"AES","node":5}`,
+		`{"circuit":"AES","node":-1}`,
+		`{"circuit":"AES","mode":9}`,
+		`{"circuit":"AES","lint":3}`,
+		`{"circuit":"AES","equiv":-1}`,
+		`{"circuit":"AES","resistivity_scale":{"12":2.0}}`,
+	} {
+		resp, err := http.Post(ts.URL+"/v1/ppa", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("POST %s: status %d (%s), want 400", body, resp.StatusCode, data)
+		}
+	}
+	if got := runs.Load(); got != 0 {
+		t.Fatalf("bad POST bodies reached the flow %d times", got)
+	}
+	// The daemon is still healthy afterwards.
+	if code, _, _ := get(t, ts.URL+"/healthz"); code != 200 {
+		t.Fatalf("healthz after bad POSTs: %d", code)
+	}
+}
+
+// TestJobPanicIsAnError: a panic inside a job must surface as that request's
+// 500 and leave the worker pool serving subsequent requests.
+func TestJobPanicIsAnError(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1},
+		func(cfg flow.Config) (*flow.Result, error) {
+			if cfg.Seed == 666 {
+				panic("boom")
+			}
+			return stubResult(cfg), nil
+		})
+	code, _, body := get(t, ts.URL+"/v1/ppa?circuit=FPU&scale=0.1&seed=666")
+	if code != http.StatusInternalServerError || !strings.Contains(string(body), "panicked") {
+		t.Fatalf("panicking job: status %d (%s), want 500 mentioning the panic", code, body)
+	}
+	code, _, body = get(t, ts.URL+"/v1/ppa?circuit=FPU&scale=0.1&seed=1")
+	if code != 200 {
+		t.Fatalf("request after panic: status %d (%s); worker pool did not survive", code, body)
+	}
+}
+
+// TestMetricsScrapeDuringSubmit regression-tests the lock ordering between
+// the job-table mutex and the metrics registry: singleflight joins and queue
+// rejections bump counters on the submit path while a concurrent /metrics
+// scrape samples the queue-depth gauge. With the counters bumped under s.mu
+// this AB-BA deadlocked; the test hangs (and times out) on regression.
+func TestMetricsScrapeDuringSubmit(t *testing.T) {
+	release := make(chan struct{})
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1},
+		func(cfg flow.Config) (*flow.Result, error) {
+			<-release
+			return stubResult(cfg), nil
+		})
+	// Unblock the workers before the server cleanup drains them (cleanups
+	// run last-registered-first).
+	t.Cleanup(func() { close(release) })
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var wg sync.WaitGroup
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				client := &http.Client{Timeout: 5 * time.Second}
+				for i := 0; i < 40; i++ {
+					// Scrapes interleave with joins (hot key occupies the
+					// worker) and queue-full rejections (cold keys).
+					for _, url := range []string{
+						ts.URL + "/metrics",
+						ts.URL + "/v1/ppa?circuit=FPU&scale=0.1&timeout_ms=1",
+						ts.URL + "/v1/ppa?circuit=FPU&scale=0.1&seed=" + strconv.Itoa(g*100+i) + "&timeout_ms=1",
+					} {
+						if resp, err := client.Get(url); err == nil {
+							io.Copy(io.Discard, resp.Body)
+							resp.Body.Close()
+						}
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+	}()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("scrape vs submit deadlocked")
 	}
 }
 

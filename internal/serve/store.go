@@ -39,7 +39,9 @@ import (
 type Store struct {
 	dir string
 	// OnQuarantine, when set, observes every quarantined entry (metrics,
-	// logging). Called synchronously from Get.
+	// logging): path is where the bad entry now lives — normally under
+	// quarantine/ — and reason is the verification failure. Called
+	// synchronously from Get.
 	OnQuarantine func(path string, reason error)
 }
 
@@ -173,16 +175,26 @@ func (s *Store) verify(key string, data []byte) ([]byte, error) {
 }
 
 // quarantine moves a bad entry aside so it stops shadowing recomputes but
-// stays available for diagnosis.
+// stays available for diagnosis. OnQuarantine receives the path the entry
+// ended up at (inside quarantine/), so the report points at a file that
+// exists.
 func (s *Store) quarantine(path string, reason error) {
 	dst := filepath.Join(s.dir, "quarantine", filepath.Base(path))
 	if err := os.Rename(path, dst); err != nil {
-		// Another goroutine may have quarantined it first; removing the
-		// source either way keeps the hot path clean.
+		if _, serr := os.Stat(path); serr != nil {
+			// The source is gone: another goroutine quarantined it first and
+			// already reported it.
+			return
+		}
+		// The entry exists but cannot be moved (permissions, a cross-device
+		// quarantine dir, ...). Removing it keeps the hot path clean, but the
+		// post-mortem artifact is lost — report that rather than swallow it.
 		os.Remove(path)
+		dst = path
+		reason = fmt.Errorf("%w (quarantine rename failed: %v; entry deleted)", reason, err)
 	}
 	if s.OnQuarantine != nil {
-		s.OnQuarantine(path, reason)
+		s.OnQuarantine(dst, reason)
 	}
 }
 

@@ -129,9 +129,10 @@ func TestStoreQuarantine(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			var reasons []string
+			var reasons, paths []string
 			s.OnQuarantine = func(path string, reason error) {
 				reasons = append(reasons, reason.Error())
+				paths = append(paths, path)
 			}
 			key := "the-key"
 			payload := []byte("payload bytes of the entry\n")
@@ -148,6 +149,14 @@ func TestStoreQuarantine(t *testing.T) {
 			}
 			if len(reasons) != 1 {
 				t.Fatalf("OnQuarantine calls = %v, want 1", reasons)
+			}
+			// The reported path is the post-mortem artifact — it must exist
+			// and live under quarantine/.
+			if _, err := os.Stat(paths[0]); err != nil {
+				t.Fatalf("OnQuarantine reported %s, which does not exist: %v", paths[0], err)
+			}
+			if filepath.Base(filepath.Dir(paths[0])) != "quarantine" {
+				t.Fatalf("OnQuarantine reported %s, want a path under quarantine/", paths[0])
 			}
 			if n, _ := s.QuarantineLen(); n != 1 {
 				t.Fatalf("quarantine holds %d entries, want 1", n)
