@@ -1,5 +1,5 @@
 # Convenience targets; scripts/check.sh is the canonical CI gate.
-.PHONY: check test build fmt lint equiv serve loadgen bench-serve
+.PHONY: check test build fmt lint vet-custom equiv serve loadgen bench-serve bench-vet
 
 check:
 	./scripts/check.sh
@@ -18,6 +18,11 @@ fmt:
 lint:
 	@go run ./cmd/tmi3d lint -all
 
+# The repo's own static analyzers (maporder, lockorder, seedpurity,
+# keycoverage) over every package (see internal/vet and cmd/tmi3dvet).
+vet-custom:
+	go run ./cmd/tmi3dvet ./...
+
 # Formal equivalence sign-off: LEC over every benchmark plus the
 # switch-level check of the folded T-MI library (see internal/equiv).
 equiv:
@@ -35,3 +40,6 @@ loadgen:
 
 bench-serve:
 	go test ./internal/serve -run '^$$' -bench BenchmarkServe -benchmem
+
+bench-vet:
+	go test ./internal/vet -run '^$$' -bench BenchmarkVet

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// TestCrossProcessByteIdentity is the end-to-end form of the byte-identity
+// contract the internal/vet analyzers enforce statically: two separate
+// processes running the same configuration must produce identical report
+// bytes and identical netlist/placement artifacts. Go randomizes the map
+// iteration seed per process, so any surviving map-order dependence — the
+// netlist pin-order bug class — shows up here as a byte diff.
+func TestCrossProcessByteIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the binary and runs the flow twice")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "tmi3d")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	type artifacts struct {
+		stdout, verilog, def []byte
+	}
+	run := func(tag string) artifacts {
+		prefix := filepath.Join(dir, tag)
+		cmd := exec.Command(bin,
+			"-circuit", "FPU", "-scale", "0.1", "-mode", "tmi", "-byfunc",
+			"-dump", prefix)
+		stdout, err := cmd.Output() // -dump's confirmation line goes to stderr
+		if err != nil {
+			t.Fatalf("%s run: %v", tag, err)
+		}
+		v, err := os.ReadFile(prefix + ".v")
+		if err != nil {
+			t.Fatalf("%s verilog: %v", tag, err)
+		}
+		def, err := os.ReadFile(prefix + ".def")
+		if err != nil {
+			t.Fatalf("%s def: %v", tag, err)
+		}
+		return artifacts{stdout: stdout, verilog: v, def: def}
+	}
+
+	a, b := run("run1"), run("run2")
+	for _, cmp := range []struct {
+		what string
+		x, y []byte
+	}{
+		{"report stdout", a.stdout, b.stdout},
+		{"verilog artifact", a.verilog, b.verilog},
+		{"DEF artifact", a.def, b.def},
+	} {
+		if !bytes.Equal(cmp.x, cmp.y) {
+			t.Errorf("%s differs between two processes of the same config (%d vs %d bytes):\n--- run1 ---\n%s\n--- run2 ---\n%s",
+				cmp.what, len(cmp.x), len(cmp.y), firstDiffContext(cmp.x, cmp.y), firstDiffContext(cmp.y, cmp.x))
+		}
+	}
+}
+
+// firstDiffContext returns a short window around the first differing byte.
+func firstDiffContext(a, b []byte) []byte {
+	i := 0
+	for i < len(a) && i < len(b) && a[i] == b[i] {
+		i++
+	}
+	lo, hi := i-80, i+80
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(a) {
+		hi = len(a)
+	}
+	return a[lo:hi]
+}

@@ -16,6 +16,7 @@ package extract
 
 import (
 	"math"
+	"sort"
 
 	"tmi3d/internal/cellgen"
 	"tmi3d/internal/geom"
@@ -260,8 +261,16 @@ func Extract(def *cellgen.CellDef, l *cellgen.Layout, mode TopSilicon) *Result {
 		}
 	}
 
-	// Table 1 totals: signal-net R, all-net C.
-	for net, rc := range res.Nets {
+	// Table 1 totals: signal-net R, all-net C. Summed in sorted net order —
+	// float addition does not commute, and the totals feed byte-compared
+	// reports.
+	netNames := make([]string, 0, len(res.Nets))
+	for net := range res.Nets {
+		netNames = append(netNames, net)
+	}
+	sort.Strings(netNames)
+	for _, net := range netNames {
+		rc := res.Nets[net]
 		if net != cellgen.NetVDD && net != cellgen.NetVSS {
 			res.TotalR += rc.R
 		}

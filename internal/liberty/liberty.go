@@ -222,6 +222,7 @@ func (lib *Library) index() {
 	for _, c := range lib.Cells {
 		lib.byBase[c.Base] = append(lib.byBase[c.Base], c)
 	}
+	//tmi3dvet:ordered each iteration sorts one bucket in place; buckets are disjoint, so visit order cannot matter
 	for _, v := range lib.byBase {
 		sort.Slice(v, func(i, j int) bool { return v[i].Strength < v[j].Strength })
 	}

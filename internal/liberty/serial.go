@@ -3,6 +3,7 @@ package liberty
 import (
 	"encoding/json"
 	"fmt"
+	"sort"
 
 	"tmi3d/internal/cellgen"
 	"tmi3d/internal/tech"
@@ -56,7 +57,15 @@ func lutIn(j lutJSON) *LUT { return &LUT{Slews: j.Slews, Loads: j.Loads, V: j.V}
 // EncodeJSON serializes the library.
 func (lib *Library) EncodeJSON() ([]byte, error) {
 	out := libJSON{Node: int(lib.Node), Mode: int(lib.Mode), VDD: lib.VDD}
-	for _, c := range lib.Cells {
+	// Cells is a map: encode in sorted-name order so the artifact bytes are
+	// reproducible across regenerations of the embedded library.
+	names := make([]string, 0, len(lib.Cells))
+	for name := range lib.Cells {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		c := lib.Cells[name]
 		cj := cellJSON{
 			Name: c.Name, Base: c.Base, Strength: c.Strength,
 			Area: c.Area, Width: c.Width, PinCap: c.PinCap,

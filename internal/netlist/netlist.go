@@ -253,7 +253,8 @@ func (d *Design) Violations() []Violation {
 				fmt.Sprintf("instance %q (%d) has no pins", inst.Name, i)})
 			continue
 		}
-		for pin, ni := range inst.Pins {
+		for _, pin := range inst.SortedPins() {
+			ni := inst.Pins[pin]
 			if ni < 0 || ni >= len(d.Nets) {
 				out = append(out, Violation{KindBadPin, ni, i,
 					fmt.Sprintf("instance %q pin %s: net %d out of range", inst.Name, pin, ni)})
@@ -334,6 +335,14 @@ func (d *Design) SortedPIs() []string {
 	return out
 }
 
+// SortedPOs returns primary output names, sorted (deterministic iteration).
+func (d *Design) SortedPOs() []string { return sortedKeys(d.POs) }
+
+// SortedPins returns the instance's pin names, sorted (deterministic
+// iteration; Pins is a map, so ranging it directly leaks iteration order
+// into anything the loop accumulates).
+func (inst *Instance) SortedPins() []string { return sortedKeys(inst.Pins) }
+
 // InsertBuffer splits a net: a new buffering instance of function fn (bound
 // to cellName) is driven by the net, and the listed sink pins move onto the
 // buffer's output net. It returns the new net and instance indices.
@@ -379,7 +388,8 @@ func (d *Design) RemoveInstance(i int) error {
 	if i < 0 || i >= len(d.Instances) {
 		return fmt.Errorf("netlist: remove instance %d out of range", i)
 	}
-	for pin, ni := range d.Instances[i].Pins {
+	for _, pin := range d.Instances[i].SortedPins() {
+		ni := d.Instances[i].Pins[pin]
 		if ni < 0 || ni >= len(d.Nets) {
 			continue
 		}

@@ -222,8 +222,8 @@ func Analyze(d *netlist.Design, env Env) (*Result, error) {
 			check(dNet, res.ClockPs-c.Setup)
 		}
 	}
-	for _, ni := range d.POs {
-		check(ni, res.ClockPs)
+	for _, po := range d.SortedPOs() {
+		check(d.POs[po], res.ClockPs)
 	}
 	if math.IsInf(res.WNS, 1) {
 		res.WNS = res.ClockPs // no endpoints: trivially met
@@ -324,8 +324,8 @@ func Analyze(d *netlist.Design, env Env) (*Result, error) {
 			setReq(dNet, res.ClockPs-c.Setup)
 		}
 	}
-	for _, ni := range d.POs {
-		setReq(ni, res.ClockPs)
+	for _, po := range d.SortedPOs() {
+		setReq(d.POs[po], res.ClockPs)
 	}
 	for k := len(order) - 1; k >= 0; k-- {
 		inst := &d.Instances[order[k]]
@@ -406,7 +406,8 @@ func Levelize(d *netlist.Design) ([]int, error) {
 			continue
 		}
 		inst := &d.Instances[ii]
-		for pin, ni := range inst.Pins {
+		for _, pin := range inst.SortedPins() {
+			ni := inst.Pins[pin]
 			if !isOutputPin(inst.Func, pin) {
 				continue
 			}

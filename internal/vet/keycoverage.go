@@ -1,0 +1,177 @@
+package vet
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// KeyCoverage enforces that every field of a cache-keyed Config struct is
+// referenced by its Key method (directly or through same-package helpers
+// like writePhysicalKey). The flow cache maps Config.Key() to a completed
+// Result; a field that changes Run's output but not its Key aliases two
+// different results under one cache entry — the PR 3 ClockPs precision
+// collision, generalized to "the next field someone adds".
+//
+// The check applies to any struct type named Config with a `Key() string`
+// method. A field that genuinely must not participate (purely observational
+// knobs) carries a
+//
+//	//tmi3dvet:nonkey <reason>
+//
+// annotation on its declaration; a bare annotation is a diagnostic, and an
+// annotation on a field that IS referenced by Key is stale and reported.
+var KeyCoverage = &Analyzer{
+	Name: "keycoverage",
+	Doc:  "verifies cache-key methods cover every Config field",
+	Run:  runKeyCoverage,
+}
+
+func runKeyCoverage(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok || ts.Name.Name != "Config" {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				obj := p.Pkg.Info.Defs[ts.Name]
+				if obj == nil {
+					continue
+				}
+				named, ok := obj.Type().(*types.Named)
+				if !ok {
+					continue
+				}
+				checkConfigKey(p, named, st)
+			}
+		}
+	}
+}
+
+func checkConfigKey(p *Pass, named *types.Named, st *ast.StructType) {
+	keyMethod := methodNamed(named, "Key")
+	if keyMethod == nil || !returnsString(keyMethod) {
+		return // not a cache-keyed Config
+	}
+	covered := fieldsReferencedByKey(p, named, keyMethod)
+	for _, field := range st.Fields.List {
+		reason, pos, annotated := fieldSuppression(p, "nonkey", field)
+		for _, name := range field.Names {
+			obj := p.Pkg.Info.Defs[name]
+			if obj == nil {
+				continue
+			}
+			switch {
+			case covered[obj]:
+				if annotated {
+					p.Reportf(pos, "stale //tmi3dvet:nonkey on %s.%s: the field IS referenced by Key", named.Obj().Name(), name.Name)
+				}
+			case annotated && reason == "":
+				p.Reportf(pos, "//tmi3dvet:nonkey suppression without a reason — say why %s.%s must not affect the cache key", named.Obj().Name(), name.Name)
+			case !annotated:
+				p.Reportf(name.Pos(), "%s.%s is not covered by %s.Key: two configs differing only in %s would alias one cache entry; add it to the key or annotate //tmi3dvet:nonkey <reason>",
+					named.Obj().Name(), name.Name, named.Obj().Name(), name.Name)
+			}
+		}
+	}
+}
+
+func methodNamed(named *types.Named, name string) *types.Func {
+	for i := 0; i < named.NumMethods(); i++ {
+		if m := named.Method(i); m.Name() == name {
+			return m
+		}
+	}
+	return nil
+}
+
+func returnsString(m *types.Func) bool {
+	sig := m.Type().(*types.Signature)
+	if sig.Results().Len() != 1 {
+		return false
+	}
+	b, ok := sig.Results().At(0).Type().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.String
+}
+
+// fieldsReferencedByKey walks the Key method and every same-package function
+// it transitively calls, collecting which fields of the Config type are
+// selected anywhere along the way.
+func fieldsReferencedByKey(p *Pass, named *types.Named, key *types.Func) map[types.Object]bool {
+	covered := map[types.Object]bool{}
+	fieldOwner := map[types.Object]bool{}
+	if s, ok := named.Underlying().(*types.Struct); ok {
+		for i := 0; i < s.NumFields(); i++ {
+			fieldOwner[s.Field(i)] = true
+		}
+	}
+	bodies := funcBodies(p)
+	seen := map[*types.Func]bool{}
+	work := []*types.Func{key}
+	for len(work) > 0 {
+		fn := work[len(work)-1]
+		work = work[:len(work)-1]
+		if seen[fn] {
+			continue
+		}
+		seen[fn] = true
+		body := bodies[fn]
+		if body == nil {
+			continue
+		}
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				if sel := p.Pkg.Info.Selections[n]; sel != nil {
+					if f, ok := sel.Obj().(*types.Var); ok && fieldOwner[f] {
+						covered[f] = true
+					}
+				}
+			case *ast.CallExpr:
+				if callee := staticCalleeOf(p, n); callee != nil && callee.Pkg() == p.Pkg.Types {
+					work = append(work, callee)
+				}
+			}
+			return true
+		})
+	}
+	return covered
+}
+
+func funcBodies(p *Pass) map[*types.Func]*ast.BlockStmt {
+	bodies := map[*types.Func]*ast.BlockStmt{}
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				if fn, ok := p.Pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					bodies[fn] = fd.Body
+				}
+			}
+		}
+	}
+	return bodies
+}
+
+func staticCalleeOf(p *Pass, call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		f, _ := p.ObjectOf(fun).(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		if sel := p.Pkg.Info.Selections[fun]; sel != nil {
+			f, _ := sel.Obj().(*types.Func)
+			return f
+		}
+		f, _ := p.ObjectOf(fun.Sel).(*types.Func)
+		return f
+	}
+	return nil
+}

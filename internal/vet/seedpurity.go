@@ -1,0 +1,165 @@
+package vet
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SeedPurity bans impure randomness and wall-clock inputs inside
+// flow-deterministic packages. Every random decision in those packages must
+// draw from a stream seeded by flow.Config.DeriveSeed — a pure function of
+// the configuration — which is what makes a parallel run byte-identical to a
+// serial one and a daemon response byte-identical to a direct flow.Run.
+//
+// Three violation shapes:
+//
+//   - time.Now / time.Since: wall-clock readings (observational timing
+//     belongs in the flow package's StageTimes, outside the encoded Result);
+//   - global math/rand functions (rand.Intn, rand.Float64, rand.Shuffle,
+//     ...): the process-global generator's stream depends on every other
+//     consumer, i.e. on scheduling. rand.New(rand.NewSource(seed)) with an
+//     explicit seed is the sanctioned form;
+//   - map-derived seeds: seeding a source from a value assigned inside a
+//     range over a map imports iteration order into the stream
+//     (rand.NewSource(k) inside for k := range m).
+var SeedPurity = &Analyzer{
+	Name: "seedpurity",
+	Doc:  "bans wall-clock and global-RNG inputs in flow-deterministic packages",
+	Run:  runSeedPurity,
+}
+
+// pureRandFuncs are the math/rand package-level functions that do NOT touch
+// the global generator.
+var pureRandFuncs = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+func runSeedPurity(p *Pass) {
+	if !p.Deterministic {
+		return
+	}
+	tainted := mapRangeTainted(p)
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj, ok := p.ObjectOf(sel.Sel).(*types.Func)
+			if !ok || obj.Pkg() == nil {
+				return true
+			}
+			switch obj.Pkg().Path() {
+			case "time":
+				if obj.Name() == "Now" || obj.Name() == "Since" {
+					p.Reportf(call.Pos(), "time.%s in a flow-deterministic package: wall clock must not reach results; move timing to the flow profile", obj.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				if sig := obj.Type().(*types.Signature); sig.Recv() != nil {
+					// Method on an explicitly seeded *rand.Rand — but a
+					// Seed/source built from map iteration is impure.
+					checkSeedArgs(p, call, tainted)
+					return true
+				}
+				if !pureRandFuncs[obj.Name()] {
+					p.Reportf(call.Pos(), "global math/rand.%s in a flow-deterministic package: derive a local RNG from Config.DeriveSeed instead", obj.Name())
+					return true
+				}
+				checkSeedArgs(p, call, tainted)
+			}
+			return true
+		})
+	}
+}
+
+// checkSeedArgs flags seed expressions that depend on a variable assigned
+// inside a map range — iteration order would flow into the RNG stream.
+func checkSeedArgs(p *Pass, call *ast.CallExpr, tainted map[types.Object]bool) {
+	for _, arg := range call.Args {
+		ast.Inspect(arg, func(n ast.Node) bool {
+			// A nested math/rand call (rand.New(rand.NewSource(seed))) checks
+			// its own arguments when the outer walk reaches it; descending
+			// here would double-report.
+			if inner, ok := n.(*ast.CallExpr); ok && isRandCall(p, inner) {
+				return false
+			}
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if obj := p.ObjectOf(id); obj != nil && tainted[obj] {
+				p.Reportf(id.Pos(), "seed %s is derived from map iteration (assigned inside a range over a map): the RNG stream would depend on iteration order", id.Name)
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// isRandCall reports whether the call resolves to a math/rand function or
+// method — those calls run checkSeedArgs on their own visit.
+func isRandCall(p *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj, ok := p.ObjectOf(sel.Sel).(*types.Func)
+	if !ok || obj.Pkg() == nil {
+		return false
+	}
+	path := obj.Pkg().Path()
+	return path == "math/rand" || path == "math/rand/v2"
+}
+
+// mapRangeTainted collects every object bound or assigned inside the body
+// (or key/value position) of a range over a map, package-wide.
+func mapRangeTainted(p *Pass) map[types.Object]bool {
+	tainted := map[types.Object]bool{}
+	mark := func(e ast.Expr) {
+		if id, ok := e.(*ast.Ident); ok {
+			if obj := p.ObjectOf(id); obj != nil {
+				tainted[obj] = true
+			}
+		}
+	}
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := p.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if rs.Key != nil {
+				mark(rs.Key)
+			}
+			if rs.Value != nil {
+				mark(rs.Value)
+			}
+			ast.Inspect(rs.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.AssignStmt:
+					for _, lhs := range n.Lhs {
+						mark(lhs)
+					}
+				case *ast.IncDecStmt:
+					mark(n.X)
+				}
+				return true
+			})
+			return true
+		})
+	}
+	return tainted
+}

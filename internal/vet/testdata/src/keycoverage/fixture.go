@@ -1,0 +1,34 @@
+// Package fixture seeds keycoverage violations on a cache-keyed Config:
+// an uncovered field, a reasonless nonkey annotation, and a stale nonkey
+// annotation on a field the key does reference. Expected diagnostics live in
+// expect.txt.
+package fixture
+
+import "fmt"
+
+// Config mirrors the flow.Config shape: Key() is the cache key, helpers are
+// followed transitively.
+type Config struct {
+	Circuit string
+	Clock   float64
+	// Node is referenced by Key through the physical helper, so the
+	// annotation below is stale.
+	//tmi3dvet:nonkey fixture: stale annotation on a covered field
+	Node int
+	// Verbose legitimately stays out of the key.
+	//tmi3dvet:nonkey fixture: log verbosity cannot change any result byte
+	Verbose bool
+	//tmi3dvet:nonkey
+	Debug bool
+	Extra int
+}
+
+// Key covers Circuit directly and Clock/Node through physical; Extra is the
+// seeded PR 3-style gap.
+func (c Config) Key() string {
+	return fmt.Sprintf("%s|%s", c.Circuit, physical(c))
+}
+
+func physical(c Config) string {
+	return fmt.Sprintf("%g|%d", c.Clock, c.Node)
+}

@@ -1,0 +1,58 @@
+// Package fixture seeds lockorder violations: an AB-BA inversion between two
+// struct-field mutexes, a recursive acquisition through a call chain, and a
+// clean consistently-ordered pair. Expected diagnostics live in expect.txt.
+package fixture
+
+import "sync"
+
+type pair struct {
+	a  sync.Mutex
+	b  sync.Mutex
+	n  int
+	mu sync.Mutex
+}
+
+// lockAB acquires a then b.
+func (p *pair) lockAB() {
+	p.a.Lock()
+	p.b.Lock()
+	p.n++
+	p.b.Unlock()
+	p.a.Unlock()
+}
+
+// lockBA inverts the order: with lockAB this is the AB-BA deadlock.
+func (p *pair) lockBA() {
+	p.b.Lock()
+	p.a.Lock()
+	p.n++
+	p.a.Unlock()
+	p.b.Unlock()
+}
+
+// outer holds mu across a call to inner, which reacquires it.
+func (p *pair) outer() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.inner()
+}
+
+func (p *pair) inner() {
+	p.mu.Lock()
+	p.n++
+	p.mu.Unlock()
+}
+
+// consistent is clean: both paths take a before mu, and the branch that
+// returns early releases what it holds.
+func (p *pair) consistent(fast bool) {
+	p.a.Lock()
+	if fast {
+		p.a.Unlock()
+		return
+	}
+	p.mu.Lock()
+	p.n++
+	p.mu.Unlock()
+	p.a.Unlock()
+}

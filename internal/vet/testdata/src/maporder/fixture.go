@@ -1,0 +1,104 @@
+// Package fixture seeds maporder violations and non-violations; the expected
+// diagnostics live in expect.txt (regenerate with go test -run Fixture -update).
+//
+// The import path used by the test ends in internal/place so the package
+// counts as deterministic-output.
+package fixture
+
+import "sort"
+
+// leakOrder collects keys and hands them back unsorted: iteration order
+// reaches the caller. Expect a collected-but-never-sorted diagnostic.
+func leakOrder(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// collectSort is the sanctioned shape: collect then sort in the same block.
+func collectSort(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// floatSum accumulates floats in iteration order. Expect the sharper
+// float-accumulation diagnostic.
+func floatSum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// invert uses only commuting operations: keyed stores and integer counts.
+func invert(m map[string]int) (map[int]string, int) {
+	inv := map[int]string{}
+	n := 0
+	for k, v := range m {
+		inv[v] = k
+		n++
+	}
+	return inv, n
+}
+
+// perIterationLocals mutates only data that dies with the iteration.
+func perIterationLocals(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		s := 0
+		for _, v := range vs {
+			s += v
+		}
+		total += s
+	}
+	return total
+}
+
+// firstKey returns a key chosen by iteration order. Expect an order-leak
+// diagnostic naming the return.
+func firstKey(m map[string]int) string {
+	for k := range m {
+		return k
+	}
+	return ""
+}
+
+// suppressed carries a justified annotation: no site diagnostic.
+func suppressed(m map[string]int) []string {
+	var out []string
+	//tmi3dvet:ordered fixture: caller shuffles the result, order is irrelevant
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// bareSuppression has an annotation with no reason. Expect the bare-directive
+// diagnostic; the site itself stays suppressed.
+func bareSuppression(m map[string]int) []string {
+	var out []string
+	//tmi3dvet:ordered
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// The annotation below excuses nothing — no map range on this or the next
+// line. Expect a stale-suppression diagnostic.
+//
+//tmi3dvet:ordered fixture: deliberately stale annotation
+func stale(xs []int) int {
+	n := 0
+	for range xs {
+		n++
+	}
+	return n
+}

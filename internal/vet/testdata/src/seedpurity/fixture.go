@@ -1,0 +1,38 @@
+// Package fixture seeds seedpurity violations: wall-clock reads, global
+// math/rand use, and a map-iteration-derived seed. The import path used by
+// the test ends in internal/route so the package counts as
+// flow-deterministic. Expected diagnostics live in expect.txt.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+// wallClock reads the wall clock. Expect two diagnostics.
+func wallClock() (int64, time.Duration) {
+	start := time.Now()
+	return start.UnixNano(), time.Since(start)
+}
+
+// globalRand draws from the process-global generator. Expect two diagnostics.
+func globalRand() (int, float64) {
+	return rand.Intn(10), rand.Float64()
+}
+
+// seeded is the sanctioned form: an explicit seed through rand.New.
+func seeded(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64()
+}
+
+// mapSeed derives a seed from a value assigned inside a map range: the RNG
+// stream would follow iteration order. Expect a tainted-seed diagnostic.
+func mapSeed(m map[int64]string) float64 {
+	var last int64
+	for k := range m {
+		last = k
+	}
+	r := rand.New(rand.NewSource(last))
+	return r.Float64()
+}

@@ -1,11 +1,23 @@
 #!/usr/bin/env bash
-# Static-analysis and test gate for the repository: formatting, go vet,
-# build, and the full test suite under the race detector. CI and pre-commit
-# both run this; it must exit non-zero on any failure.
+# Static-analysis and test gate for the repository. CI and pre-commit both run
+# this; it must exit non-zero on any failure.
+#
+# The gates run fail-fast in cost order: formatting and stock static analysis
+# first, then the custom tmi3dvet determinism/concurrency analyzers, then the
+# race-detector test suite, then the end-to-end smokes (parallel determinism,
+# formal equivalence, serving). Each gate opens with a named banner so a CI
+# log identifies the failing stage at a glance.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== gofmt"
+stage() {
+    echo
+    echo "==================================================================="
+    echo "== stage: $1"
+    echo "==================================================================="
+}
+
+stage gofmt
 unformatted=$(gofmt -l cmd internal)
 if [ -n "$unformatted" ]; then
     echo "gofmt needed on:" >&2
@@ -13,16 +25,22 @@ if [ -n "$unformatted" ]; then
     exit 1
 fi
 
-echo "== go vet"
+stage govet
 go vet ./...
 
-echo "== go build"
+stage build
 go build ./...
 
-echo "== go test -race"
+stage tmi3dvet
+# The repo's own analyzers: map-iteration order, lock ordering, seed purity,
+# and cache-key coverage. A single unsuppressed diagnostic fails the gate —
+# run `go run ./cmd/tmi3dvet -list` for the suite and the suppression syntax.
+go run ./cmd/tmi3dvet ./...
+
+stage race
 go test -race ./...
 
-echo "== parallel experiments determinism"
+stage parallel-determinism
 # The experiment engine's contract: the report is byte-identical at any -j.
 # Run a real (small) experiment serially and at -j 4 and diff the outputs.
 pdir=$(mktemp -d)
@@ -39,7 +57,7 @@ if ! diff -u "$pdir/j1.txt" "$pdir/j4.txt"; then
     exit 1
 fi
 
-echo "== equiv smoke"
+stage equiv-smoke
 # Formal sign-off must prove the smallest benchmark's mapped netlist and pass
 # the switch-level library check — and must catch an injected logic defect.
 go run ./cmd/tmi3d equiv -circuit FPU -scale 0.1 -lib -format text
@@ -48,7 +66,7 @@ if go run ./cmd/tmi3d equiv -circuit FPU -scale 0.1 -corrupt swapgate >/dev/null
     exit 1
 fi
 
-echo "== serve smoke"
+stage serve-smoke
 # The serving layer's contract: a daemon answer is byte-identical to a direct
 # flow.Run. Boot on an ephemeral port, probe /healthz, fetch one flow result
 # twice (cold then cached), and diff against the direct encoding via loadgen.
@@ -73,4 +91,5 @@ kill "$serve_pid"
 wait "$serve_pid" 2>/dev/null || true
 serve_pid=""
 
+echo
 echo "check.sh: all clean"
