@@ -18,10 +18,11 @@ fmt:
 lint:
 	@go run ./cmd/tmi3d lint -all
 
-# The repo's own static analyzers (maporder, lockorder, seedpurity,
-# keycoverage) over every package (see internal/vet and cmd/tmi3dvet).
+# The repo's own static analyzers (globalmut, keycoverage, lockorder,
+# maporder, seedpurity, stagedeps) over every package with per-analyzer
+# diagnostic counts (see internal/vet and cmd/tmi3dvet).
 vet-custom:
-	go run ./cmd/tmi3dvet ./...
+	go run ./cmd/tmi3dvet -counts ./...
 
 # Formal equivalence sign-off: LEC over every benchmark plus the
 # switch-level check of the folded T-MI library (see internal/equiv).

@@ -1,29 +1,41 @@
 // Command tmi3dvet is the repository's determinism and concurrency
 // multichecker: it loads and type-checks every package in the module and runs
-// the internal/vet analyzer suite (maporder, lockorder, seedpurity,
-// keycoverage). A non-empty report exits 1, which is what scripts/check.sh
-// gates CI on.
+// the internal/vet analyzer suite (globalmut, keycoverage, lockorder,
+// maporder, seedpurity, stagedeps). A non-empty report exits 1, which is what
+// scripts/check.sh gates CI on.
 //
 // Usage:
 //
 //	tmi3dvet ./...            # analyze the whole module (the only scope)
 //	tmi3dvet -list            # print the analyzers and what they catch
 //	tmi3dvet -c maporder ./...# run a single analyzer
+//	tmi3dvet -counts ./...    # append per-analyzer diagnostic counts
+//	tmi3dvet -json ./...      # machine-readable diagnostics + stage manifest
 //
-// Suppression syntax, for sites that are order-insensitive for reasons the
-// analyzer cannot prove:
+// -json emits one JSON object carrying every diagnostic (file/line/col/
+// analyzer/message) and the per-stage read-set manifest stagedeps computed
+// from the anchored pipeline — the measured dependency surface the
+// incremental flow cache consumes. The exit status is unchanged: 1 on any
+// diagnostic, 0 on a clean module.
+//
+// Directive syntax, for sites the analyzers cannot prove safe on their own:
 //
 //	//tmi3dvet:ordered <reason>   on or above a map range (maporder)
 //	//tmi3dvet:nonkey <reason>    on a Config field (keycoverage)
+//	//tmi3dvet:nonseed <reason>   on a Config field excluded from DeriveSeed
+//	//tmi3dvet:global <reason>    on or above a mutable global access (globalmut)
+//	//tmi3dvet:stage <name>       above a pipeline stage's first statement (stagedeps)
 //
 // The reason string is mandatory and stale suppressions are diagnostics.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 
 	"tmi3d/internal/vet"
 )
@@ -32,14 +44,18 @@ func main() {
 	list := flag.Bool("list", false, "print the analyzer suite and exit")
 	check := flag.String("c", "", "run only the named analyzer")
 	root := flag.String("C", "", "module root (default: ascend from the working directory to go.mod)")
+	asJSON := flag.Bool("json", false, "emit diagnostics and the per-stage read-set manifest as JSON")
+	counts := flag.Bool("counts", false, "print per-analyzer diagnostic counts after the report")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: tmi3dvet [-list] [-c analyzer] [-C moduleroot] [./...]\n")
+		fmt.Fprintf(os.Stderr, "usage: tmi3dvet [-list] [-c analyzer] [-C moduleroot] [-json] [-counts] [./...]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 
 	if *list {
-		for _, a := range vet.All {
+		names := append([]*vet.Analyzer(nil), vet.All...)
+		sort.Slice(names, func(i, j int) bool { return names[i].Name < names[j].Name })
+		for _, a := range names {
 			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
 		}
 		return
@@ -74,13 +90,95 @@ func main() {
 		fmt.Fprintf(os.Stderr, "tmi3dvet: %v\n", err)
 		os.Exit(2)
 	}
-	diags := vet.Run(mod, analyzers)
-	for _, d := range diags {
-		fmt.Println(d)
+	res := vet.Analyze(mod, analyzers)
+
+	if *asJSON {
+		emitJSON(res)
+	} else {
+		for _, d := range res.Diags {
+			fmt.Println(d)
+		}
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "tmi3dvet: %d diagnostic(s) across %d package(s)\n", len(diags), len(mod.Pkgs))
+	if *counts {
+		printCounts(analyzers, res.Diags)
+	}
+	if len(res.Diags) > 0 {
+		fmt.Fprintf(os.Stderr, "tmi3dvet: %d diagnostic(s) across %d package(s)\n", len(res.Diags), len(mod.Pkgs))
+		printPackageSummary(res.Diags)
 		os.Exit(1)
+	}
+}
+
+// jsonDiag is the machine-readable diagnostic shape; positions stay
+// root-relative so the output is stable across checkouts.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func emitJSON(res *vet.Result) {
+	out := struct {
+		Diagnostics []jsonDiag       `json:"diagnostics"`
+		Stages      []vet.StageReads `json:"stages"`
+	}{
+		Diagnostics: []jsonDiag{},
+		Stages:      res.Stages,
+	}
+	if out.Stages == nil {
+		out.Stages = []vet.StageReads{}
+	}
+	for _, d := range res.Diags {
+		out.Diagnostics = append(out.Diagnostics, jsonDiag{
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Analyzer: d.Check,
+			Message:  d.Message,
+		})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintf(os.Stderr, "tmi3dvet: %v\n", err)
+		os.Exit(2)
+	}
+}
+
+// printCounts reports one line per requested analyzer, zeros included, in
+// name order — the CI-visible shape of "which checks are actually running".
+func printCounts(analyzers []*vet.Analyzer, diags []vet.Diagnostic) {
+	byCheck := map[string]int{}
+	for _, d := range diags {
+		byCheck[d.Check]++
+	}
+	names := make([]string, 0, len(analyzers))
+	for _, a := range analyzers {
+		names = append(names, a.Name)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Printf("%-12s %d\n", n, byCheck[n])
+	}
+}
+
+// printPackageSummary breaks the failure total down by directory (package),
+// sorted, so a red CI run names the guilty packages deterministically.
+func printPackageSummary(diags []vet.Diagnostic) {
+	byDir := map[string]int{}
+	for _, d := range diags {
+		dir := filepath.ToSlash(filepath.Dir(d.Pos.Filename))
+		byDir[dir]++
+	}
+	dirs := make([]string, 0, len(byDir))
+	for dir := range byDir {
+		dirs = append(dirs, dir)
+	}
+	sort.Strings(dirs)
+	for _, dir := range dirs {
+		fmt.Fprintf(os.Stderr, "  %-28s %d\n", dir, byDir[dir])
 	}
 }
 

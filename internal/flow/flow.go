@@ -92,6 +92,7 @@ type Config struct {
 	// any Error-severity diagnostic aborts the flow (the Encounter-style
 	// sanity checks of the paper's flow). GateWarnOnly records reports
 	// without failing; GateOff skips the sweeps entirely.
+	//tmi3dvet:nonseed observation-only gate: must not perturb the RNG stream or the layout
 	Lint lint.GateMode `json:"lint,omitempty"`
 	// Equiv controls the formal sign-off gates (the Conformal/Formality box
 	// of Fig 1): logical equivalence checks after every netlist-transforming
@@ -100,6 +101,7 @@ type Config struct {
 	// of the folded cell library. The zero value enforces: any disproved
 	// compare point aborts the flow. GateWarnOnly records reports without
 	// failing; GateOff skips the checks.
+	//tmi3dvet:nonseed observation-only gate: must not perturb the RNG stream or the layout
 	Equiv lint.GateMode `json:"equiv,omitempty"`
 }
 
@@ -205,7 +207,14 @@ func generated(name string, scale float64) (*netlist.Design, error) {
 }
 
 // Run executes the full flow.
+//
+// The //tmi3dvet:stage anchors segment the body into the named regions of the
+// future per-stage incremental cache (ROADMAP item 1); the stagedeps analyzer
+// verifies each region's Config read set against the StageKeys manifest in
+// stagekeys.go, so a stage can never silently grow a dependency its cache key
+// does not cover.
 func Run(cfg Config) (*Result, error) {
+	//tmi3dvet:stage setup
 	if cfg.Scale == 0 {
 		cfg.Scale = 1.0
 	}
@@ -216,6 +225,7 @@ func Run(cfg Config) (*Result, error) {
 	seed := cfg.DeriveSeed()
 	prof := newStageTimer()
 	t0 := time.Now()
+	//tmi3dvet:stage library
 	t := tech.New(cfg.Node, cfg.Mode)
 	lib, err := liberty.Default(cfg.Node, cfg.Mode)
 	if err != nil {
@@ -226,6 +236,7 @@ func Run(cfg Config) (*Result, error) {
 	}
 	prof.add("library", time.Since(t0))
 
+	//tmi3dvet:stage generate
 	t0 = time.Now()
 	src, err := generated(cfg.Circuit, cfg.Scale)
 	if err != nil {
@@ -244,6 +255,7 @@ func Run(cfg Config) (*Result, error) {
 	prof.add("generate", time.Since(t0))
 
 	// Wire load model: estimated die area from the generic netlist.
+	//tmi3dvet:stage wlm
 	areaEst := estimateArea(d, lib)
 	util := cfg.Util
 	if util == 0 {
@@ -259,6 +271,7 @@ func Run(cfg Config) (*Result, error) {
 	// stage boundaries where the paper's flow runs Encounter sanity checks,
 	// failing fast on Error-severity diagnostics unless relaxed via
 	// cfg.Lint. The closure re-reads d, which later stages rebind.
+	//tmi3dvet:stage gates
 	var lintReports []*lint.Report
 	lintGate := func(stage string) error {
 		if cfg.Lint == lint.GateOff {
@@ -313,6 +326,7 @@ func Run(cfg Config) (*Result, error) {
 		return nil
 	}
 
+	//tmi3dvet:stage synth
 	ref := d // generated source netlist, reference for the post-synth check
 	t0 = time.Now()
 	sres, err := synth.Run(d, synth.Options{Lib: lib, WLM: model})
@@ -334,6 +348,7 @@ func Run(cfg Config) (*Result, error) {
 	// Reserve headroom for optimization growth (buffers, upsizing) so the
 	// FINAL utilization lands near the target, as the paper's flow does
 	// (Section S6 reports post-optimization utilizations at the target).
+	//tmi3dvet:stage place
 	placeUtil := util * 0.90
 	t0 = time.Now()
 	pl, err := place.Run(d, place.Options{Lib: lib, Tech: t, TargetUtil: placeUtil, Seed: seed})
@@ -343,6 +358,7 @@ func Run(cfg Config) (*Result, error) {
 	prof.add("place", time.Since(t0))
 
 	// Pre-route optimization on bounding-box parasitics.
+	//tmi3dvet:stage opt
 	t0 = time.Now()
 	tb := captable.Build(t, captable.Options{ResistivityScale: cfg.ResistivityScale})
 	estWire := hpwlWire(pl, tb)
@@ -365,6 +381,7 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	// Routing and extraction.
+	//tmi3dvet:stage route
 	t0 = time.Now()
 	rt, err := route.Run(pl, route.Options{Tech: t})
 	if err != nil {
@@ -374,6 +391,7 @@ func Run(cfg Config) (*Result, error) {
 	prof.add("route", time.Since(t0))
 
 	// Post-route optimization: extracted parasitics, power recovery on.
+	//tmi3dvet:stage opt
 	t0 = time.Now()
 	postSrc := extractedWire(ex, pl, tb)
 	postStats, err := opt.Close(d, opt.Options{
@@ -391,6 +409,7 @@ func Run(cfg Config) (*Result, error) {
 	// Buffers moved nets around: final route + extraction + sign-off. If the
 	// re-routed parasitics uncover a residual violation, close once more on
 	// the final extraction (ECO-style) and re-route.
+	//tmi3dvet:stage signoff
 	var timing *sta.Result
 	var finalWire func(int) sta.WireRC
 	for pass := 0; ; pass++ {
@@ -430,6 +449,7 @@ func Run(cfg Config) (*Result, error) {
 	if err := equivGate("post-route vs post-place", ref); err != nil {
 		return nil, err
 	}
+	//tmi3dvet:stage power
 	t0 = time.Now()
 	pow, err := power.Analyze(d, power.Env{
 		Lib: lib, Wire: finalWire, Activities: cfg.Activities, Timing: timing,
@@ -455,6 +475,7 @@ func Run(cfg Config) (*Result, error) {
 	pow.Total = pow.Cell + pow.Net + pow.Leakage
 	prof.add("power", time.Since(t0))
 
+	//tmi3dvet:stage report
 	res := &Result{
 		Config:     cfg,
 		Design:     d,

@@ -1,0 +1,34 @@
+package flow
+
+// StageKeys is the declarative per-stage cache-key contract for the anchored
+// regions of Run: for each //tmi3dvet:stage name, the Config fields whose
+// values the stage's cached artifacts may depend on. The stagedeps analyzer
+// (internal/vet) diffs each stage's statically computed transitive read set
+// against this map on every CI run, so the manifest is proven sound — a field
+// read here but missing from the key would serve stale cached artifacts; a
+// listed field the stage never reads would split identical artifacts into
+// distinct cache entries.
+//
+// Everything a stage consumes beyond its key fields is an upstream artifact
+// (netlist, placement, the derived seed, the gate closures) and is covered by
+// the producing stage's artifact hash — that producer/consumer edge set, also
+// computed by stagedeps, is the dependency DAG the incremental flow cache
+// (ROADMAP item 1) will walk.
+//
+// Reporting-only stages have empty keys on purpose: place, route, and signoff
+// are pure functions of upstream artifacts, which is exactly what makes them
+// cacheable at fine grain.
+var StageKeys = map[string][]string{
+	"setup":    {"Activities", "Circuit", "ClockPs", "Mode", "Node", "PinCapScale", "ResistivityScale", "Scale", "Seed", "Use2DWLM", "Util"},
+	"library":  {"Mode", "Node", "PinCapScale"},
+	"generate": {"Circuit", "ClockPs", "Node", "Scale"},
+	"wlm":      {"Circuit", "Mode", "Node", "Use2DWLM", "Util"},
+	"gates":    {"Circuit", "Equiv", "Lint", "Mode", "Node"},
+	"synth":    {"Circuit", "Equiv", "Mode", "Node"},
+	"place":    {},
+	"opt":      {"Equiv", "ResistivityScale"},
+	"route":    {},
+	"signoff":  {},
+	"power":    {"Activities"},
+	"report":   {"Activities", "Circuit", "ClockPs", "Equiv", "Lint", "Mode", "Node", "PinCapScale", "ResistivityScale", "Scale", "Seed", "Use2DWLM", "Util"},
+}

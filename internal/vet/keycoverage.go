@@ -20,6 +20,13 @@ import (
 //
 // annotation on its declaration; a bare annotation is a diagnostic, and an
 // annotation on a field that IS referenced by Key is stale and reported.
+//
+// When the Config also has a DeriveSeed method, the analyzer additionally
+// pins the physical-key subset: every Key-covered field DeriveSeed does not
+// mix must carry //tmi3dvet:nonseed <reason> (the gate modes, which must not
+// move the layout), and a field DeriveSeed mixes but Key omits is reported
+// outright — randomness depending on state the cache key cannot see is the
+// seed-side variant of the aliasing bug.
 var KeyCoverage = &Analyzer{
 	Name: "keycoverage",
 	Doc:  "verifies cache-key methods cover every Config field",
@@ -62,6 +69,11 @@ func checkConfigKey(p *Pass, named *types.Named, st *ast.StructType) {
 		return // not a cache-keyed Config
 	}
 	covered := fieldsReferencedByKey(p, named, keyMethod)
+	seedMethod := methodNamed(named, "DeriveSeed")
+	var seedCovered map[types.Object]bool
+	if seedMethod != nil {
+		seedCovered = fieldsReferencedByKey(p, named, seedMethod)
+	}
 	for _, field := range st.Fields.List {
 		reason, pos, annotated := fieldSuppression(p, "nonkey", field)
 		for _, name := range field.Names {
@@ -80,6 +92,41 @@ func checkConfigKey(p *Pass, named *types.Named, st *ast.StructType) {
 				p.Reportf(name.Pos(), "%s.%s is not covered by %s.Key: two configs differing only in %s would alias one cache entry; add it to the key or annotate //tmi3dvet:nonkey <reason>",
 					named.Obj().Name(), name.Name, named.Obj().Name(), name.Name)
 			}
+			if seedMethod != nil {
+				checkSeedDrift(p, named, field, name, obj, covered, seedCovered)
+			}
+		}
+	}
+}
+
+// checkSeedDrift diffs one field's Key coverage against its DeriveSeed
+// coverage. The contract: DeriveSeed mixes exactly the Key fields that shape
+// the physical design; a Key field deliberately outside the seed domain
+// (observation-only gate modes) documents that with //tmi3dvet:nonseed.
+func checkSeedDrift(p *Pass, named *types.Named, field *ast.Field, name *ast.Ident, obj types.Object, covered, seedCovered map[types.Object]bool) {
+	reason, pos, annotated := fieldSuppression(p, "nonseed", field)
+	switch {
+	case seedCovered[obj]:
+		if annotated {
+			p.Reportf(pos, "stale //tmi3dvet:nonseed on %s.%s: the field IS mixed into DeriveSeed", named.Obj().Name(), name.Name)
+		}
+		if !covered[obj] {
+			p.Reportf(name.Pos(), "%s.DeriveSeed mixes %s but Key omits it: the RNG stream depends on state the cache key cannot see, so a cached result and a fresh run diverge; add %s to Key or drop it from the seed",
+				named.Obj().Name(), name.Name, name.Name)
+		}
+	case covered[obj]:
+		switch {
+		case annotated && reason == "":
+			p.Reportf(pos, "//tmi3dvet:nonseed suppression without a reason — say why %s.%s must not perturb the RNG stream", named.Obj().Name(), name.Name)
+		case !annotated:
+			p.Reportf(name.Pos(), "%s.%s is in Key but not in DeriveSeed: two keyed-apart configs share an RNG stream; mix it into the physical key or annotate //tmi3dvet:nonseed <reason>",
+				named.Obj().Name(), name.Name)
+		}
+	default:
+		// Covered by neither: the nonkey branch owns the finding; a nonseed
+		// annotation here documents nothing.
+		if annotated {
+			p.Reportf(pos, "stale //tmi3dvet:nonseed on %s.%s: the field is not in Key at all, so seed drift does not apply", named.Obj().Name(), name.Name)
 		}
 	}
 }

@@ -33,6 +33,18 @@ type suppressions struct {
 // collectSuppressions gathers every //tmi3dvet:<directive> comment in the
 // package and immediately reports bare directives (missing reason).
 func collectSuppressions(p *Pass, directive string) *suppressions {
+	return collectSuppressionsMode(p, directive, true)
+}
+
+// collectSuppressionsQuiet gathers a directive without reporting bare
+// directives and without feeding the stale audit — for an analyzer consulting
+// a directive another analyzer owns (stagedeps honors //tmi3dvet:global at
+// ambient-read sites, but globalmut audits the annotations).
+func collectSuppressionsQuiet(p *Pass, directive string) *suppressions {
+	return collectSuppressionsMode(p, directive, false)
+}
+
+func collectSuppressionsMode(p *Pass, directive string, audit bool) *suppressions {
 	s := &suppressions{directive: directive, byLine: map[string]map[int]*suppression{}}
 	prefix := "tmi3dvet:" + directive
 	for _, f := range p.Pkg.Files {
@@ -53,7 +65,7 @@ func collectSuppressions(p *Pass, directive string) *suppressions {
 					line:   pos.Line,
 					reason: strings.TrimSpace(rest),
 				}
-				if sup.reason == "" {
+				if sup.reason == "" && audit {
 					p.Reportf(c.Pos(), "//tmi3dvet:%s suppression without a reason — say why the site is safe", directive)
 				}
 				if s.byLine[sup.file] == nil {

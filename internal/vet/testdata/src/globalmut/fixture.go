@@ -1,0 +1,118 @@
+// Package fixture seeds globalmut violations alongside every allowed shape.
+// The clean shapes — a read-only table, init-time population, sync
+// primitives, a once-published value read behind its Once, and the
+// key-addressed once-cell map of liberty.Default — must produce nothing;
+// the seeded mutable writes/reads, an unsynchronized once-published read, an
+// unguarded map read, payload accesses outside the entry's Once.Do, plus a
+// bare and a stale suppression are the expected diagnostics in expect.txt.
+package fixture
+
+import "sync"
+
+// scale is read-only after initialization — clean.
+var scale = map[string]float64{"a": 1}
+
+// boot is populated only in init, which runs before any flow — clean.
+var boot []string
+
+func init() { boot = append(boot, "boot") }
+
+// entry is the once-cell shape: a sync.Once plus payload fields that may be
+// written only inside that Once's Do.
+type entry struct {
+	once sync.Once
+	val  float64
+	err  error
+}
+
+var (
+	mu    sync.Mutex
+	cache = map[string]*entry{}
+)
+
+// lookup is the sanctioned map accessor: the mutex guards only the map.
+func lookup(key string) *entry {
+	mu.Lock()
+	e, ok := cache[key]
+	if !ok {
+		e = &entry{}
+		cache[key] = e
+	}
+	mu.Unlock()
+	return e
+}
+
+func compute(key string) (float64, error) { return scale[key], nil }
+
+// Value is the clean consumer: payload written inside Do, read in a function
+// that synchronizes on the Once.
+func Value(key string) (float64, error) {
+	e := lookup(key)
+	e.once.Do(func() { e.val, e.err = compute(key) })
+	return e.val, e.err
+}
+
+// lastKey is seeded mutable state: written and read after initialization.
+var lastKey string
+
+func Touch(key string) {
+	lastKey = key // seeded: post-init write
+}
+
+func Last() string {
+	return lastKey // seeded: read of mutable global
+}
+
+// tbl is once-published; Table reads it behind the Once, Peek does not.
+var (
+	tblOnce sync.Once
+	tbl     []float64
+)
+
+func Table() []float64 {
+	tblOnce.Do(func() { tbl = []float64{1, 2} })
+	return tbl
+}
+
+func Peek() float64 {
+	return tbl[0] // seeded: once-published read without the Once in scope
+}
+
+func Dirty(key string) bool {
+	_, ok := cache[key] // seeded: once-cell map read outside the mutex
+	return ok
+}
+
+func Poison(key string) {
+	e := lookup(key)
+	e.val = 0 // seeded: payload write outside the entry's Once.Do
+}
+
+func Raw(key string) float64 {
+	e := lookup(key)
+	return e.val // seeded: payload read with no Once.Do in the function
+}
+
+// statDirty's mutation is suppressed with a reason — no site diagnostic.
+var statDirty int
+
+func Bump() {
+	//tmi3dvet:global fixture: observational stat, reset between test runs
+	statDirty++
+}
+
+// statBare's suppression is missing its reason — the bare-directive
+// diagnostic fires, while the site itself stays suppressed.
+var statBare int
+
+func BumpBare() {
+	//tmi3dvet:global
+	statBare++
+}
+
+// CleanRead carries a suppression that excuses nothing: scale is read-only,
+// so the annotation is stale.
+func CleanRead() float64 {
+	//tmi3dvet:global fixture: stale annotation on a read-only table
+	return scale["a"]
+}

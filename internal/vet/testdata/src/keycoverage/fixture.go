@@ -1,34 +1,56 @@
 // Package fixture seeds keycoverage violations on a cache-keyed Config:
 // an uncovered field, a reasonless nonkey annotation, and a stale nonkey
-// annotation on a field the key does reference. Expected diagnostics live in
-// expect.txt.
+// annotation on a field the key does reference — plus the DeriveSeed drift
+// classes: a Key field the seed skips without annotation, a seed-mixed field
+// the Key omits, and a stale and a bare nonseed annotation. Expected
+// diagnostics live in expect.txt.
 package fixture
 
 import "fmt"
 
 // Config mirrors the flow.Config shape: Key() is the cache key, helpers are
-// followed transitively.
+// followed transitively, DeriveSeed() pins the physical subset.
 type Config struct {
+	// Circuit is in Key but skipped by DeriveSeed without annotation — the
+	// seeded shared-RNG-stream drift.
 	Circuit string
-	Clock   float64
+	// Clock is mixed into the seed, so the annotation below is stale.
+	//tmi3dvet:nonseed fixture: stale — the seed does mix the clock
+	Clock float64
 	// Node is referenced by Key through the physical helper, so the
 	// annotation below is stale.
 	//tmi3dvet:nonkey fixture: stale annotation on a covered field
 	Node int
-	// Verbose legitimately stays out of the key.
+	// Verbose legitimately stays out of the key; the nonseed annotation is
+	// meaningless on a field that is not in Key at all.
 	//tmi3dvet:nonkey fixture: log verbosity cannot change any result byte
+	//tmi3dvet:nonseed fixture: stale — not a key field
 	Verbose bool
 	//tmi3dvet:nonkey
 	Debug bool
+	// Extra is out of Key (the seeded PR 3-style gap) yet mixed into the
+	// seed — randomness depending on state the cache key cannot see.
 	Extra int
+	// Width is keyed but excluded from the seed with a bare annotation.
+	//tmi3dvet:nonseed
+	Width int
+	// Gate is the clean exclusion: keyed, not seeded, reason given.
+	//tmi3dvet:nonseed fixture: observation-only gate mode
+	Gate int
 }
 
-// Key covers Circuit directly and Clock/Node through physical; Extra is the
-// seeded PR 3-style gap.
+// Key covers Circuit directly and Clock/Node/Width/Gate through physical;
+// Extra is the seeded PR 3-style gap.
 func (c Config) Key() string {
 	return fmt.Sprintf("%s|%s", c.Circuit, physical(c))
 }
 
 func physical(c Config) string {
-	return fmt.Sprintf("%g|%d", c.Clock, c.Node)
+	return fmt.Sprintf("%g|%d|%d|%d", c.Clock, c.Node, c.Width, c.Gate)
+}
+
+// DeriveSeed drifts from Key on purpose: it mixes Extra (which Key omits)
+// and skips Circuit, Width, and Gate (which Key covers).
+func (c Config) DeriveSeed() uint64 {
+	return uint64(int(c.Clock) + c.Node + c.Extra)
 }

@@ -1,0 +1,74 @@
+// Package fixture seeds stagedeps violations around an anchored pipeline
+// whose StageKeys manifest deliberately drifts from the measured read sets:
+// an uncovered field read, a dead key field, an unknown field name, a stage
+// missing from the manifest, a dead manifest stage, malformed anchors (bare,
+// nested, duplicate, dangling), statements before the first anchor, an
+// ambient mutable-state read, and a function anchored without a Config
+// parameter. Expected diagnostics live in expect.txt.
+package fixture
+
+// Config mirrors the flow.Config shape at small scale.
+type Config struct {
+	Circuit string
+	Scale   float64
+	Mode    int
+	Util    float64
+}
+
+// StageKeys drifts from the pipeline below on purpose.
+var StageKeys = map[string][]string{
+	"load":  {"Circuit", "Scale"}, // Scale is a seeded dead key field
+	"build": {"Mode"},             // the Util read is seeded uncovered
+	"emit":  {"Bogus"},            // seeded unknown field name
+	"ghost": {},                   // seeded dead manifest stage
+}
+
+// table is read-only after initialization: reading it in a stage is fine.
+var table = [4]int{1, 2, 3, 4}
+
+// counter is mutable ambient state; its staged read is a seeded violation.
+var counter int
+
+// hits is equally mutable, but its staged access carries a reasoned
+// suppression, which stagedeps honors (and globalmut audits).
+var hits int
+
+func (c Config) modeCode() int { return c.Mode }
+
+func seedOf(c Config) int { return len(c.Circuit) + c.modeCode() }
+
+func Pipeline(cfg Config) int {
+	setupX := 1 // seeded: a statement before the first anchor
+
+	//tmi3dvet:stage load
+	//tmi3dvet:stage dup
+	a := cfg.Circuit
+	//tmi3dvet:stage
+	aa := len(a)
+
+	//tmi3dvet:stage build
+	b := cfg.modeCode()
+	c := int(cfg.Util)
+	counter++ // seeded: ambient mutable state touched inside a staged region
+	//tmi3dvet:global fixture: observational hit counter, reset between runs
+	hits++
+
+	//tmi3dvet:stage emit
+	d := aa + b + c + setupX + table[0]
+	if cfg.Scale > 0 {
+		//tmi3dvet:stage inner
+		d++
+	}
+
+	//tmi3dvet:stage unmapped
+	e := d + seedOf(cfg)
+	return e
+	//tmi3dvet:stage ghost2
+}
+
+func orphan() int {
+	//tmi3dvet:stage lost
+	return 1
+}
+
+var _ = orphan

@@ -1,0 +1,11 @@
+// Package fixture anchors a pipeline without declaring a StageKeys manifest:
+// stagedeps must demand the per-stage key contract rather than silently
+// verifying nothing.
+package fixture
+
+type Config struct{ N int }
+
+func Run(cfg Config) int {
+	//tmi3dvet:stage only
+	return cfg.N
+}

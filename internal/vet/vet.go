@@ -16,7 +16,16 @@
 //   - seedpurity: wall-clock or global-RNG inputs inside flow-deterministic
 //     packages, which must derive randomness from flow.Config.DeriveSeed.
 //   - keycoverage: flow.Config fields missing from Config.Key (the ClockPs
-//     precision collision that poisoned the flow cache in PR 3).
+//     precision collision that poisoned the flow cache in PR 3), and drift
+//     between Key and the DeriveSeed physical-key subset.
+//   - stagedeps: per-stage Config read sets in the anchored flow.Run pipeline
+//     diffed against the declarative StageKeys manifest — the soundness proof
+//     for the incremental per-stage flow cache (ROADMAP item 1): a stage that
+//     reads a Config field its key omits would serve stale cached artifacts.
+//   - globalmut: reads or writes of mutable package-level state outside the
+//     key-addressed sync.Once cache shape (liberty.Default, flow.generated) —
+//     the class where a cache entry mutated after publication silently
+//     couples two configs.
 //
 // cmd/tmi3dvet runs the suite over the whole module; scripts/check.sh gates
 // CI on a clean report.
@@ -39,7 +48,7 @@ type Analyzer struct {
 }
 
 // All is the full analyzer suite in reporting order.
-var All = []*Analyzer{MapOrder, LockOrder, SeedPurity, KeyCoverage}
+var All = []*Analyzer{MapOrder, LockOrder, SeedPurity, KeyCoverage, StageDeps, GlobalMut}
 
 // deterministicPkgs lists the module-relative package paths whose output
 // feeds the byte-identity contract: any map-iteration order or impure seed
@@ -63,7 +72,24 @@ var deterministicPkgs = []string{
 // Deterministic reports whether the import path carries the byte-identity
 // contract (module-relative suffix match against deterministicPkgs).
 func Deterministic(importPath string) bool {
-	for _, s := range deterministicPkgs {
+	return pathIn(importPath, deterministicPkgs)
+}
+
+// globalStatePkgs extends the deterministic set with the flow package itself
+// for globalmut: flow owns the cross-config process caches (genCache, the
+// library-check once) whose mutation-after-publication is exactly the bug
+// class globalmut targets, even though flow's wall-clock StageTimes keep it
+// out of the seedpurity/maporder set.
+var globalStatePkgs = append([]string{"internal/flow"}, deterministicPkgs...)
+
+// GlobalStateScoped reports whether globalmut audits the package's
+// package-level state.
+func GlobalStateScoped(importPath string) bool {
+	return pathIn(importPath, globalStatePkgs)
+}
+
+func pathIn(importPath string, set []string) bool {
+	for _, s := range set {
 		if importPath == s || strings.HasSuffix(importPath, "/"+s) {
 			return true
 		}
@@ -90,8 +116,17 @@ type Pass struct {
 	// and seedpurity only fire inside them.
 	Deterministic bool
 
-	check  string
-	report func(Diagnostic)
+	check       string
+	report      func(Diagnostic)
+	exportStage func(StageReads)
+}
+
+// ExportStage publishes one computed stage read set (stagedeps). It is a
+// no-op when the runner did not ask for stage facts.
+func (p *Pass) ExportStage(sr StageReads) {
+	if p.exportStage != nil {
+		p.exportStage(sr)
+	}
 }
 
 // Reportf records a diagnostic at pos.
@@ -144,11 +179,25 @@ func ExprString(e ast.Expr) string {
 	}
 }
 
+// Result is one full analysis over a module: the findings plus the stage
+// facts stagedeps computed along the way (the measured per-stage dependency
+// surface the incremental flow cache will consume).
+type Result struct {
+	Diags  []Diagnostic
+	Stages []StageReads
+}
+
 // Run applies the analyzers to every package of the module and returns the
 // findings sorted by position. The order is deterministic — the engine holds
 // itself to the contract it enforces.
 func Run(mod *Module, analyzers []*Analyzer) []Diagnostic {
-	var diags []Diagnostic
+	return Analyze(mod, analyzers).Diags
+}
+
+// Analyze is Run plus the exported stage read sets, both deterministically
+// sorted.
+func Analyze(mod *Module, analyzers []*Analyzer) *Result {
+	res := &Result{}
 	for _, pkg := range mod.Pkgs {
 		for _, a := range analyzers {
 			pass := &Pass{
@@ -156,13 +205,14 @@ func Run(mod *Module, analyzers []*Analyzer) []Diagnostic {
 				Pkg:           pkg,
 				Deterministic: Deterministic(pkg.Path),
 				check:         a.Name,
-				report:        func(d Diagnostic) { diags = append(diags, d) },
+				report:        func(d Diagnostic) { res.Diags = append(res.Diags, d) },
+				exportStage:   func(sr StageReads) { res.Stages = append(res.Stages, sr) },
 			}
 			a.Run(pass)
 		}
 	}
-	sort.Slice(diags, func(i, j int) bool {
-		a, b := diags[i], diags[j]
+	sort.Slice(res.Diags, func(i, j int) bool {
+		a, b := res.Diags[i], res.Diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
 			return a.Pos.Filename < b.Pos.Filename
 		}
@@ -177,5 +227,15 @@ func Run(mod *Module, analyzers []*Analyzer) []Diagnostic {
 		}
 		return a.Message < b.Message
 	})
-	return diags
+	sort.Slice(res.Stages, func(i, j int) bool {
+		a, b := res.Stages[i], res.Stages[j]
+		if a.Package != b.Package {
+			return a.Package < b.Package
+		}
+		if a.Func != b.Func {
+			return a.Func < b.Func
+		}
+		return a.Stage < b.Stage
+	})
+	return res
 }

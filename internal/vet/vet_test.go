@@ -97,9 +97,156 @@ func TestKeyCoverageFixture(t *testing.T) {
 		"not covered by Config.Key",
 		"without a reason",
 		"stale //tmi3dvet:nonkey",
+		// DeriveSeed drift classes.
+		"in Key but not in DeriveSeed",
+		"DeriveSeed mixes Extra but Key omits it",
+		"stale //tmi3dvet:nonseed",
+		"//tmi3dvet:nonseed suppression without a reason",
 	} {
 		if !hasDiag(diags, want) {
 			t.Errorf("keycoverage fixture lost the %q diagnostic class", want)
+		}
+	}
+	// Gate is the clean exclusion (keyed, not seeded, reason given): any
+	// diagnostic naming it means the annotation path broke.
+	for _, d := range diags {
+		if strings.Contains(d.Message, "Config.Gate") {
+			t.Errorf("reasoned nonseed exclusion was still reported: %s", d)
+		}
+	}
+}
+
+func TestStageDepsFixture(t *testing.T) {
+	diags := runFixture(t, "stagedeps", "fixture/internal/flow", StageDeps)
+	for _, want := range []string{
+		// Manifest drift classes.
+		"StageKeys[\"build\"] omits it",
+		"dead key field",
+		"not a field of Config",
+		"has no StageKeys entry",
+		"dead manifest stage",
+		// Anchor discipline classes.
+		"anchor without a stage name",
+		"duplicate //tmi3dvet:stage anchor",
+		"is nested inside a statement",
+		"anchors no top-level statement",
+		"precede the first //tmi3dvet:stage anchor",
+		"no Config parameter",
+		// Ambient-state class.
+		"ambient package state counter",
+	} {
+		if !hasDiag(diags, want) {
+			t.Errorf("stagedeps fixture lost the %q diagnostic class", want)
+		}
+	}
+	// The reasoned //tmi3dvet:global on the hits access suppresses the
+	// ambient-state diagnostic; the audit of that directive belongs to
+	// globalmut, so stagedeps must not add bare/stale noise either.
+	for _, d := range diags {
+		if strings.Contains(d.Message, "hits") || strings.Contains(d.Message, "tmi3dvet:global sup") {
+			t.Errorf("stagedeps fixture: quiet directive consultation leaked: %s", d)
+		}
+	}
+}
+
+func TestStageDepsMissingManifest(t *testing.T) {
+	diags := runFixture(t, "stagedeps_nokeys", "fixture/stagedeps_nokeys", StageDeps)
+	if !hasDiag(diags, "no StageKeys manifest") {
+		t.Error("stagedeps did not demand a manifest from an anchored package")
+	}
+}
+
+// TestStageFacts pins the exported per-stage read sets: the measured
+// dependency surface -json hands to the incremental-cache builder.
+func TestStageFacts(t *testing.T) {
+	mod, err := LoadDir(filepath.Join("testdata", "src", "stagedeps"), "fixture/internal/flow")
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	res := Analyze(mod, []*Analyzer{StageDeps})
+	byStage := map[string]StageReads{}
+	for _, sr := range res.Stages {
+		if sr.Func == "Pipeline" {
+			byStage[sr.Stage] = sr
+		}
+	}
+	want := map[string][]string{
+		"load":     {"Circuit"},
+		"build":    {"Mode", "Util"},
+		"emit":     {"Scale"},
+		"unmapped": {"Circuit", "Mode", "Scale", "Util"}, // bare cfg reads every field
+	}
+	for stage, fields := range want {
+		sr, ok := byStage[stage]
+		if !ok {
+			t.Errorf("stage %q missing from exported facts", stage)
+			continue
+		}
+		if got := strings.Join(sr.ConfigFields, ","); got != strings.Join(fields, ",") {
+			t.Errorf("stage %q config fields = [%s], want %v", stage, got, fields)
+		}
+	}
+	if sr := byStage["build"]; !contains(sr.Globals, "counter") || !contains(sr.Globals, "hits") {
+		t.Errorf("build stage globals = %v, want counter and hits", sr.Globals)
+	}
+	if sr := byStage["unmapped"]; !contains(sr.Artifacts, "d") {
+		t.Errorf("unmapped stage artifacts = %v, want the cross-stage local d", sr.Artifacts)
+	}
+	// setupX is deliberately absent: pre-anchor statements belong to no
+	// stage, so their locals are not artifact edges (and the pre-anchor
+	// diagnostic already demands they be staged).
+	if sr := byStage["emit"]; !contains(sr.Artifacts, "aa") || !contains(sr.Artifacts, "b") {
+		t.Errorf("emit stage artifacts = %v, want upstream locals aa and b", sr.Artifacts)
+	}
+}
+
+func contains(list []string, s string) bool {
+	for _, v := range list {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}
+
+func TestGlobalMutFixture(t *testing.T) {
+	diags := runFixture(t, "globalmut", "fixture/internal/liberty", GlobalMut)
+	for _, want := range []string{
+		"written after initialization",
+		"read of mutable package-level",
+		"never synchronizes on its sync.Once",
+		"outside a mutex-holding function",
+		"written outside its sync.Once.Do",
+		"never calls a sync.Once.Do",
+		"suppression without a reason",
+		"stale //tmi3dvet:global",
+	} {
+		if !hasDiag(diags, want) {
+			t.Errorf("globalmut fixture lost the %q diagnostic class", want)
+		}
+	}
+	// The allowed shapes must stay silent: the once-cell map machinery, the
+	// once-published Table accessor, init-time population, and the reasoned
+	// suppression in Bump.
+	for _, clean := range []string{"cache[key] = e", "statDirty", "boot"} {
+		for _, d := range diags {
+			if strings.Contains(d.Message, clean) {
+				t.Errorf("clean shape %q was reported: %s", clean, d)
+			}
+		}
+	}
+}
+
+func TestGlobalStateScoped(t *testing.T) {
+	for path, want := range map[string]bool{
+		"tmi3d/internal/flow":    true, // owns the process caches
+		"tmi3d/internal/liberty": true,
+		"tmi3d/internal/place":   true,
+		"tmi3d/internal/serve":   false,
+		"tmi3d/cmd/tmi3d":        false,
+	} {
+		if got := GlobalStateScoped(path); got != want {
+			t.Errorf("GlobalStateScoped(%q) = %v, want %v", path, got, want)
 		}
 	}
 }
@@ -131,8 +278,11 @@ func TestDeterministicList(t *testing.T) {
 	}
 }
 
-// TestRepoClean is the self-application gate: the full analyzer suite over
-// the real module must report nothing. This is the same contract
+// TestRepoClean is the self-application gate: the full analyzer suite —
+// including stagedeps and globalmut — over the real module must report
+// nothing, and stagedeps must actually have verified flow.Run's anchored
+// stages against the StageKeys manifest (an empty stage export would mean
+// the proof silently stopped running). This is the same contract
 // scripts/check.sh enforces via cmd/tmi3dvet.
 func TestRepoClean(t *testing.T) {
 	if testing.Short() {
@@ -142,8 +292,22 @@ func TestRepoClean(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Load module: %v", err)
 	}
-	diags := Run(mod, All)
-	for _, d := range diags {
+	res := Analyze(mod, All)
+	for _, d := range res.Diags {
 		t.Errorf("unsuppressed diagnostic: %s", d)
+	}
+	stages := map[string]bool{}
+	for _, sr := range res.Stages {
+		if strings.HasSuffix(sr.Package, "internal/flow") && sr.Func == "Run" {
+			stages[sr.Stage] = true
+		}
+	}
+	for _, want := range []string{
+		"setup", "library", "generate", "wlm", "gates", "synth",
+		"place", "opt", "route", "signoff", "power", "report",
+	} {
+		if !stages[want] {
+			t.Errorf("flow.Run stage %q missing from the stagedeps export", want)
+		}
 	}
 }

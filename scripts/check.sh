@@ -33,9 +33,11 @@ go build ./...
 
 stage tmi3dvet
 # The repo's own analyzers: map-iteration order, lock ordering, seed purity,
-# and cache-key coverage. A single unsuppressed diagnostic fails the gate —
-# run `go run ./cmd/tmi3dvet -list` for the suite and the suppression syntax.
-go run ./cmd/tmi3dvet ./...
+# cache-key coverage, per-stage key soundness (stagedeps), and global-state
+# purity (globalmut). A single unsuppressed diagnostic fails the gate; the
+# -counts tail prints one line per analyzer so the log shows every check ran.
+# Run `go run ./cmd/tmi3dvet -list` for the suite and the suppression syntax.
+go run ./cmd/tmi3dvet -counts ./...
 
 stage race
 go test -race ./...
