@@ -79,3 +79,19 @@ func firstDiffContext(a, b []byte) []byte {
 	}
 	return a[lo:hi]
 }
+
+// TestAnchoredLoopRaceClean is the dynamic counterpart of the parsafe proof:
+// parsafe statically verifies the //tmi3dvet:parloop place.center and
+// place.netstate loops free of cross-iteration hazards, and this test runs
+// the placer's own test suite under the race detector so the proof is backed
+// by an execution, not just a summary walk. A race here means either the
+// effect-set analysis missed a write or the loops drifted after anchoring.
+func TestAnchoredLoopRaceClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("recompiles internal/place instrumented for -race")
+	}
+	cmd := exec.Command("go", "test", "-race", "-count=1", "tmi3d/internal/place")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("race-instrumented place tests failed: %v\n%s", err, out)
+	}
+}

@@ -169,6 +169,8 @@ func Close(d *netlist.Design, opt Options) (*Stats, error) {
 func fixMaxCap(d *netlist.Design, opt Options, res *sta.Result, st *Stats, area *areaTracker) (int, error) {
 	changed := 0
 	numNets := len(d.Nets)
+	//tmi3dvet:parloop opt.maxcap
+	//tmi3dvet:parhazard InsertBuffer/placeBuffer/areaTracker mutate the shared design and budget — the follow-up partitions nets into driver-disjoint batches and applies insertions serially in net order after parallel candidate scoring
 	for ni := 0; ni < numNets; ni++ {
 		if ni == d.ClockNet {
 			continue

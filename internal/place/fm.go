@@ -19,6 +19,7 @@ func (e *engine) bisect(insts []int32, region geom.Rect, vertical bool) {
 	// Update position estimates: everything in this region sits at its
 	// center until split further.
 	cx, cy := region.Center().X, region.Center().Y
+	//tmi3dvet:parloop place.center
 	for _, i := range insts {
 		e.p.X[i] = cx
 		e.p.Y[i] = cy
@@ -138,6 +139,7 @@ func (e *engine) fmRefine(insts []int32, side map[int32]bool, region geom.Rect, 
 	for k, i := range insts {
 		pos[i] = k
 	}
+	//tmi3dvet:parloop place.netstate
 	for _, ni := range netList {
 		st := netIdx[ni]
 		visit := func(inst int) {

@@ -184,14 +184,17 @@ func Run(p *place.Placement, opt Options) (*Result, error) {
 
 	r := &router{g: g, p: p, noDetour: opt.NoDetour}
 	for pass := 0; pass < iters; pass++ {
+		//tmi3dvet:parloop route.nets
 		for _, no := range order {
 			if pass > 0 {
 				// Rip up and reroute only congested nets.
 				if !r.isCongested(no.ni) {
 					continue
 				}
+				//tmi3dvet:parhazard ripUp mutates the shared congestion grid — the follow-up batches rip-ups per pass, then merges per-worker grid deltas deterministically in net order
 				r.ripUp(no.ni)
 			}
+			//tmi3dvet:parhazard routeNet reads and bumps the shared congestion grid — the follow-up routes against a pass-frozen grid snapshot and merges usage deltas in net order
 			res.Routes[no.ni] = r.routeNet(no.ni)
 		}
 	}

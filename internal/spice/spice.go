@@ -277,6 +277,8 @@ func (c *Circuit) Transient(o Options) (*Result, error) {
 					}
 				}
 			}
+			//tmi3dvet:parloop spice.stamp
+			//tmi3dvet:parhazard G.add and rhs[row] are shared-matrix float accumulations — the follow-up stamps into per-worker triplet buffers and folds them into G/rhs in FET index order
 			for fi := range c.fets {
 				m := &c.fets[fi]
 				id, gm, gds, dE, sE, sign := fetCurrent(m, v)

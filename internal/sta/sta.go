@@ -92,6 +92,7 @@ func Analyze(d *netlist.Design, env Env) (*Result, error) {
 	}
 
 	// Net loads: wire capacitance plus sink pin capacitance.
+	//tmi3dvet:parloop sta.loads
 	for i := range d.Nets {
 		load := env.Wire(i).C
 		for _, s := range d.Nets[i].Sinks {
@@ -147,6 +148,8 @@ func Analyze(d *netlist.Design, env Env) (*Result, error) {
 	}
 
 	// Propagate through combinational instances in topological order.
+	//tmi3dvet:parloop sta.propagate
+	//tmi3dvet:parhazard res.Arrival/res.Slew are keyed by outNet, not the iteration variable — safe only levelized: the follow-up parallelizes per topological level, where every outNet is written by exactly one instance in the level
 	for _, ii := range order {
 		inst := &d.Instances[ii]
 		c, _ := cellOf(lib, inst)

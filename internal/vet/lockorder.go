@@ -34,8 +34,11 @@ import (
 //
 // Recursive acquisition (Lock while the same abstract lock is held, directly
 // or through a call chain) is reported as a self-deadlock. RLock counts as
-// acquisition: recursive or inverted read-lock ordering deadlocks against a
-// queued writer.
+// acquisition too — recursive RLock is a documented deadlock against a
+// queued writer — but RWMutex read acquisitions are tracked as a distinct
+// mode: a cycle in which every hold and every acquisition is read-mode
+// cannot deadlock (readers share), so it is exempt; the moment any edge of
+// the cycle involves a write Lock, the cycle is reported.
 var LockOrder = &Analyzer{
 	Name: "lockorder",
 	Doc:  "reports cycles in the package's mutex acquisition order graph",
@@ -46,19 +49,38 @@ type lockGraph struct {
 	pass *Pass
 	// names gives each abstract lock a stable display name.
 	names map[types.Object]string
-	// edges[a][b] = position where b was acquired while a was held.
-	edges map[types.Object]map[types.Object]token.Pos
+	// edges[a][b] = the acquisition of b while a was held: first position,
+	// upgraded to write the moment any occurrence write-locks either side.
+	edges map[types.Object]map[types.Object]*lockEdge
 	fns   map[*types.Func]*fnSummary
 	// escapeSums are the summaries of escaping func literals; their acquires
 	// feed the escaping pool.
 	escapeSums []*fnSummary
-	// escaping is the union of locks acquired inside escaping literals.
-	escaping map[types.Object]bool
+	// escaping is the union of locks acquired inside escaping literals, with
+	// the strongest mode seen.
+	escaping map[types.Object]acqMode
 }
 
+// lockEdge is one acquisition-order edge. write records whether any
+// occurrence of the edge involved a write Lock on either end — only
+// pure-read cycles are exempt from deadlock reports.
+type lockEdge struct {
+	pos   token.Pos
+	write bool
+}
+
+// acqMode is the set of modes a lock is (transitively) acquired in.
+type acqMode uint8
+
+const (
+	acqRead acqMode = 1 << iota
+	acqWrite
+)
+
 type fnSummary struct {
-	// acquires is the set of locks this function (transitively) acquires.
-	acquires map[types.Object]bool
+	// acquires maps each lock this function (transitively) acquires to the
+	// modes it is acquired in.
+	acquires map[types.Object]acqMode
 	// calls records same-package static callees with the held set at the
 	// call site.
 	calls []callSite
@@ -77,7 +99,13 @@ type dynSite struct {
 	pos  token.Pos
 }
 
-type heldSet map[types.Object]token.Pos // lock -> where it was acquired
+// heldLock records where a lock was acquired and in which mode.
+type heldLock struct {
+	pos   token.Pos
+	write bool
+}
+
+type heldSet map[types.Object]heldLock
 
 func (h heldSet) clone() heldSet {
 	c := make(heldSet, len(h))
@@ -94,8 +122,10 @@ func unionHeld(sets []heldSet) heldSet {
 	u := heldSet{}
 	for _, s := range sets {
 		for k, v := range s {
-			if _, ok := u[k]; !ok {
+			if prev, ok := u[k]; !ok {
 				u[k] = v
+			} else if v.write && !prev.write {
+				u[k] = heldLock{pos: prev.pos, write: true}
 			}
 		}
 	}
@@ -106,9 +136,9 @@ func runLockOrder(p *Pass) {
 	g := &lockGraph{
 		pass:     p,
 		names:    map[types.Object]string{},
-		edges:    map[types.Object]map[types.Object]token.Pos{},
+		edges:    map[types.Object]map[types.Object]*lockEdge{},
 		fns:      map[*types.Func]*fnSummary{},
-		escaping: map[types.Object]bool{},
+		escaping: map[types.Object]acqMode{},
 	}
 	// Pass 1: per-function summaries, intraprocedural edges and recursive-
 	// acquisition reports, escaping-literal collection.
@@ -122,7 +152,7 @@ func runLockOrder(p *Pass) {
 			if obj == nil {
 				continue
 			}
-			sum := &fnSummary{acquires: map[types.Object]bool{}}
+			sum := &fnSummary{acquires: map[types.Object]acqMode{}}
 			g.fns[obj] = sum
 			g.walkBody(sum, fd.Body, heldSet{})
 		}
@@ -137,28 +167,30 @@ func runLockOrder(p *Pass) {
 	all = append(all, g.escapeSums...)
 	for changed := true; changed; {
 		changed = false
+		merge := func(sum *fnSummary, l types.Object, mode acqMode) {
+			if sum.acquires[l]|mode != sum.acquires[l] {
+				sum.acquires[l] |= mode
+				changed = true
+			}
+		}
 		for _, sum := range all {
-			n := len(sum.acquires)
 			for _, cs := range sum.calls {
 				if callee := g.fns[cs.callee]; callee != nil {
-					for l := range callee.acquires {
-						sum.acquires[l] = true
+					for l, mode := range callee.acquires {
+						merge(sum, l, mode)
 					}
 				}
 			}
 			if len(sum.dynCalls) > 0 {
-				for l := range g.escaping {
-					sum.acquires[l] = true
+				for l, mode := range g.escaping {
+					merge(sum, l, mode)
 				}
-			}
-			if len(sum.acquires) != n {
-				changed = true
 			}
 		}
 		for _, esc := range g.escapeSums {
-			for l := range esc.acquires {
-				if !g.escaping[l] {
-					g.escaping[l] = true
+			for l, mode := range esc.acquires {
+				if g.escaping[l]|mode != g.escaping[l] {
+					g.escaping[l] |= mode
 					changed = true
 				}
 			}
@@ -172,20 +204,20 @@ func runLockOrder(p *Pass) {
 			if callee == nil {
 				continue
 			}
-			for held, hpos := range cs.held {
-				if callee.acquires[held] {
+			for held, h := range cs.held {
+				if callee.acquires[held] != 0 {
 					p.Reportf(cs.pos, "call to %s may reacquire %s, held since %s: recursive locking self-deadlocks",
-						cs.callee.Name(), g.names[held], p.Mod.Fset.Position(hpos))
+						cs.callee.Name(), g.names[held], p.Mod.Fset.Position(h.pos))
 				}
-				for acq := range callee.acquires {
-					g.addEdge(held, acq, cs.pos)
+				for acq, mode := range callee.acquires {
+					g.addEdge(held, acq, cs.pos, h.write || mode&acqWrite != 0)
 				}
 			}
 		}
 		for _, ds := range sum.dynCalls {
-			for held := range ds.held {
-				for acq := range g.escaping {
-					g.addEdge(held, acq, ds.pos)
+			for held, h := range ds.held {
+				for acq, mode := range g.escaping {
+					g.addEdge(held, acq, ds.pos, h.write || mode&acqWrite != 0)
 				}
 			}
 		}
@@ -193,16 +225,20 @@ func runLockOrder(p *Pass) {
 	g.reportCycles()
 }
 
-func (g *lockGraph) addEdge(a, b types.Object, pos token.Pos) {
+func (g *lockGraph) addEdge(a, b types.Object, pos token.Pos, write bool) {
 	if a == b {
 		return // recursive acquisition is reported at the site, not as a cycle
 	}
 	if g.edges[a] == nil {
-		g.edges[a] = map[types.Object]token.Pos{}
+		g.edges[a] = map[types.Object]*lockEdge{}
 	}
-	if _, ok := g.edges[a][b]; !ok {
-		g.edges[a][b] = pos
+	if e, ok := g.edges[a][b]; ok {
+		// Keep the first position for stable messages; a later write
+		// occurrence still upgrades the edge out of the pure-read exemption.
+		e.write = e.write || write
+		return
 	}
+	g.edges[a][b] = &lockEdge{pos: pos, write: write}
 }
 
 // walkBody analyzes statements in source order, tracking the held set. A nil
@@ -373,7 +409,7 @@ func (g *lockGraph) walkExpr(sum *fnSummary, e ast.Expr, held heldSet) {
 // escapeLit analyzes a literal that may be invoked later through a
 // func-typed value: body walked with an empty held set, acquires pooled.
 func (g *lockGraph) escapeLit(lit *ast.FuncLit) {
-	esc := &fnSummary{acquires: map[types.Object]bool{}}
+	esc := &fnSummary{acquires: map[types.Object]acqMode{}}
 	g.escapeSums = append(g.escapeSums, esc)
 	g.walkBody(esc, lit.Body, heldSet{})
 }
@@ -384,16 +420,23 @@ func (g *lockGraph) walkCall(sum *fnSummary, call *ast.CallExpr, held heldSet) {
 	if lock, op := g.mutexOp(call); lock != nil {
 		switch op {
 		case "Lock", "RLock":
-			if pos, already := held[lock]; already {
+			write := op == "Lock"
+			if prev, already := held[lock]; already {
+				// Recursive RLock is reported too: a writer queued between
+				// the two RLocks deadlocks both (sync.RWMutex documentation).
 				p.Reportf(call.Pos(), "%s of %s while already held (acquired at %s): recursive locking self-deadlocks",
-					op, g.names[lock], p.Mod.Fset.Position(pos))
+					op, g.names[lock], p.Mod.Fset.Position(prev.pos))
 				return
 			}
-			for h := range held {
-				g.addEdge(h, lock, call.Pos())
+			for h, hl := range held {
+				g.addEdge(h, lock, call.Pos(), hl.write || write)
 			}
-			sum.acquires[lock] = true
-			held[lock] = call.Pos()
+			if write {
+				sum.acquires[lock] |= acqWrite
+			} else {
+				sum.acquires[lock] |= acqRead
+			}
+			held[lock] = heldLock{pos: call.Pos(), write: write}
 		case "Unlock", "RUnlock":
 			delete(held, lock)
 		}
@@ -646,11 +689,22 @@ func (g *lockGraph) reportCycle(path []types.Object, reported map[string]bool) {
 		return
 	}
 	reported[key] = true
+	// A cycle whose every hold and acquisition is read-mode cannot deadlock:
+	// readers admit each other. Any write edge re-arms the report.
+	pureRead := true
+	for i := range path {
+		if e := g.edges[path[i]][path[(i+1)%len(path)]]; e != nil && e.write {
+			pureRead = false
+		}
+	}
+	if pureRead {
+		return
+	}
 	var steps []string
 	var firstPos token.Pos
 	for i := range path {
 		a, b := path[i], path[(i+1)%len(path)]
-		pos := g.edges[a][b]
+		pos := g.edges[a][b].pos
 		if firstPos == token.NoPos || (pos != token.NoPos && pos < firstPos) {
 			firstPos = pos
 		}

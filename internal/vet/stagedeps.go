@@ -107,9 +107,9 @@ func runStageDeps(p *Pass) {
 	if manifest == nil {
 		p.Reportf(firstAnchorPos(p, anchorsByFile), "package has //tmi3dvet:stage anchors but no StageKeys manifest: declare var StageKeys = map[string][]string{stage: {Config fields}} so the incremental cache has a per-stage key contract")
 	}
-	sums := newStageSummarizer(p, cfgType)
+	sums := newEffects(p, cfgType)
 	gs := classifyGlobals(p)
-	sup := collectSuppressionsQuiet(p, "global")
+	sup := collectSuppressions(p, "global") // consult-only; globalmut owns the audit
 	for _, f := range p.Pkg.Files {
 		anchors := anchorsByFile[f]
 		if len(anchors) == 0 {
@@ -155,12 +155,8 @@ func collectStageAnchors(p *Pass, f *ast.File) []*stageAnchor {
 	var anchors []*stageAnchor
 	for _, cg := range f.Comments {
 		for _, c := range cg.List {
-			text, ok := strings.CutPrefix(c.Text, "//")
+			rest, ok := cutDirective(c, "stage")
 			if !ok {
-				continue
-			}
-			rest, ok := strings.CutPrefix(text, stageDirective)
-			if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
 				continue
 			}
 			name := ""
@@ -301,7 +297,7 @@ type stageAccum struct {
 	artifacts map[string]bool
 }
 
-func checkStagedFunc(p *Pass, fd *ast.FuncDecl, anchors []*stageAnchor, cfgType *types.Named, manifest *stageManifest, sums *stageSummarizer, gs *globalState, sup *suppressions) {
+func checkStagedFunc(p *Pass, fd *ast.FuncDecl, anchors []*stageAnchor, cfgType *types.Named, manifest *stageManifest, sums *effects, gs *globalState, sup *suppressions) {
 	if cfgType == nil {
 		for _, a := range anchors {
 			a.used = true
@@ -482,7 +478,7 @@ func fieldList(fields []string) string {
 // scanStageRegion walks one region's statements, attributing Config field
 // reads (direct, transitive through same-package calls, and whole-Config
 // uses), global touches, and cross-stage artifact uses to the accumulator.
-func scanStageRegion(p *Pass, sums *stageSummarizer, cfgType *types.Named, fd *ast.FuncDecl, regions []*stageRegion, r *stageRegion, acc *stageAccum) {
+func scanStageRegion(p *Pass, sums *effects, cfgType *types.Named, fd *ast.FuncDecl, regions []*stageRegion, r *stageRegion, acc *stageAccum) {
 	lo, hi := r.span()
 	addField := func(name string, pos token.Pos) {
 		if _, ok := acc.fields[name]; !ok {
@@ -578,126 +574,6 @@ func fieldOfConfig(cfgType *types.Named, f *types.Var) bool {
 	st := cfgType.Underlying().(*types.Struct)
 	for i := 0; i < st.NumFields(); i++ {
 		if st.Field(i) == f {
-			return true
-		}
-	}
-	return false
-}
-
-// stageSummarizer memoizes, per same-package function, the Config fields and
-// package-level variables it transitively reads.
-type stageSummarizer struct {
-	pass    *Pass
-	cfgType *types.Named
-	bodies  map[*types.Func]*ast.BlockStmt
-	memo    map[*types.Func]*fnStageReads
-	visit   map[*types.Func]bool
-}
-
-type fnStageReads struct {
-	allFields bool
-	fields    map[string]bool
-	globals   map[types.Object]token.Pos
-}
-
-func newStageSummarizer(p *Pass, cfgType *types.Named) *stageSummarizer {
-	return &stageSummarizer{
-		pass:    p,
-		cfgType: cfgType,
-		bodies:  funcBodies(p),
-		memo:    map[*types.Func]*fnStageReads{},
-		visit:   map[*types.Func]bool{},
-	}
-}
-
-// summarize returns fn's transitive read summary. Recursion through a call
-// cycle yields the partial summary accumulated so far, which the fixpoint
-// nature of set union makes safe: a cycle adds nothing new on the second
-// visit.
-func (s *stageSummarizer) summarize(fn *types.Func) *fnStageReads {
-	if sum, ok := s.memo[fn]; ok {
-		return sum
-	}
-	if s.visit[fn] {
-		return nil
-	}
-	body := s.bodies[fn]
-	if body == nil {
-		return nil
-	}
-	s.visit[fn] = true
-	defer delete(s.visit, fn)
-	sum := &fnStageReads{fields: map[string]bool{}, globals: map[types.Object]token.Pos{}}
-	p := s.pass
-	pkgScope := p.Pkg.Types.Scope()
-	selBases := map[*ast.Ident]bool{}
-	ast.Inspect(body, func(n ast.Node) bool {
-		if sel, ok := n.(*ast.SelectorExpr); ok {
-			if id, ok := sel.X.(*ast.Ident); ok {
-				selBases[id] = true
-			}
-		}
-		return true
-	})
-	ast.Inspect(body, func(n ast.Node) bool {
-		switch n := n.(type) {
-		case *ast.SelectorExpr:
-			if s.cfgType != nil {
-				if sel := p.Pkg.Info.Selections[n]; sel != nil {
-					if f, ok := sel.Obj().(*types.Var); ok && f.IsField() && fieldOfConfig(s.cfgType, f) {
-						sum.fields[f.Name()] = true
-					}
-				}
-			}
-		case *ast.CallExpr:
-			if callee := staticCalleeOf(p, n); callee != nil && callee.Pkg() == p.Pkg.Types && callee != fn {
-				if csum := s.summarize(callee); csum != nil {
-					sum.allFields = sum.allFields || csum.allFields
-					for f := range csum.fields {
-						sum.fields[f] = true
-					}
-					for obj, pos := range csum.globals {
-						if _, ok := sum.globals[obj]; !ok {
-							sum.globals[obj] = pos
-						}
-					}
-				}
-			}
-		case *ast.Ident:
-			obj := p.Pkg.Info.Uses[n]
-			v, ok := obj.(*types.Var)
-			if !ok {
-				return true
-			}
-			switch {
-			case v.Parent() == pkgScope:
-				if _, ok := sum.globals[v]; !ok {
-					sum.globals[v] = n.Pos()
-				}
-			case s.cfgType != nil && derefType(v.Type()) == s.cfgType && !selBases[n] && !isParamOrRecv(p, fn, v):
-				sum.allFields = true
-			}
-		}
-		return true
-	})
-	s.memo[fn] = sum
-	return sum
-}
-
-// isParamOrRecv reports whether v is fn's own Config parameter or receiver —
-// those flow the caller's Config in, so a bare use inside fn (passing it on,
-// hashing it) is attributed where fn's transitive reads land anyway, and the
-// receiver of a method like DeriveSeed must not count as a whole-Config read
-// on its own. A bare use that reaches data (copying into a struct) is the
-// one shape this under-approximates; Config methods in this repo only read
-// fields, which the selector walk sees.
-func isParamOrRecv(p *Pass, fn *types.Func, v *types.Var) bool {
-	sig := fn.Type().(*types.Signature)
-	if recv := sig.Recv(); recv != nil && recv == v {
-		return true
-	}
-	for i := 0; i < sig.Params().Len(); i++ {
-		if sig.Params().At(i) == v {
 			return true
 		}
 	}

@@ -26,36 +26,54 @@ type suppression struct {
 
 type suppressions struct {
 	directive string
+	audit     bool                            // this pass owns the bare/stale audit (directiveOwner)
 	byLine    map[string]map[int]*suppression // filename -> line -> suppression
 	all       []*suppression
 }
 
+// directiveOwner maps each suppression directive to the analyzer that audits
+// the annotations themselves: only the owner reports bare directives (missing
+// reason) and stale suppressions. Any analyzer may consult any directive —
+// stagedeps honors //tmi3dvet:global at ambient-read sites while globalmut
+// owns the audit — and the ownership table is what guarantees one annotation
+// never double-reports across analyzers.
+var directiveOwner = map[string]string{
+	"ordered":   "maporder",
+	"nonkey":    "keycoverage",
+	"nonseed":   "keycoverage",
+	"global":    "globalmut",
+	"parhazard": "parsafe",
+	"godisc":    "godisc",
+}
+
+// cutDirective returns the payload of a //tmi3dvet:<directive> line comment,
+// or ok=false when the comment is not that directive. This is the one
+// directive-recognition path shared by suppression collection, struct-field
+// annotations, and the stage/parloop anchor scanners.
+func cutDirective(c *ast.Comment, directive string) (rest string, ok bool) {
+	text, ok := strings.CutPrefix(c.Text, "//")
+	if !ok {
+		return "", false // block comments never carry directives
+	}
+	rest, ok = strings.CutPrefix(text, "tmi3dvet:"+directive)
+	if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+		return "", false
+	}
+	return rest, true
+}
+
 // collectSuppressions gathers every //tmi3dvet:<directive> comment in the
-// package and immediately reports bare directives (missing reason).
+// package. The bare-directive report (and, later, reportStale) fires only
+// when the calling analyzer owns the directive per directiveOwner, so a
+// consulting analyzer gets the annotations without duplicating the audit.
 func collectSuppressions(p *Pass, directive string) *suppressions {
-	return collectSuppressionsMode(p, directive, true)
-}
-
-// collectSuppressionsQuiet gathers a directive without reporting bare
-// directives and without feeding the stale audit — for an analyzer consulting
-// a directive another analyzer owns (stagedeps honors //tmi3dvet:global at
-// ambient-read sites, but globalmut audits the annotations).
-func collectSuppressionsQuiet(p *Pass, directive string) *suppressions {
-	return collectSuppressionsMode(p, directive, false)
-}
-
-func collectSuppressionsMode(p *Pass, directive string, audit bool) *suppressions {
-	s := &suppressions{directive: directive, byLine: map[string]map[int]*suppression{}}
-	prefix := "tmi3dvet:" + directive
+	audit := directiveOwner[directive] == p.check
+	s := &suppressions{directive: directive, audit: audit, byLine: map[string]map[int]*suppression{}}
 	for _, f := range p.Pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				text, ok := strings.CutPrefix(c.Text, "//")
+				rest, ok := cutDirective(c, directive)
 				if !ok {
-					continue // block comments never carry directives
-				}
-				rest, ok := strings.CutPrefix(text, prefix)
-				if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
 					continue
 				}
 				pos := p.Mod.Fset.Position(c.Pos())
@@ -102,8 +120,12 @@ func (s *suppressions) at(p *Pass, pos token.Pos) *suppression {
 	return nil
 }
 
-// reportStale flags suppressions that matched no site this run.
+// reportStale flags suppressions that matched no site this run; a no-op for
+// passes that merely consult a directive another analyzer owns.
 func (s *suppressions) reportStale(p *Pass, what string) {
+	if !s.audit {
+		return
+	}
 	for _, sup := range s.all {
 		if !sup.used && sup.reason != "" {
 			p.Reportf(sup.pos, "stale //tmi3dvet:%s suppression: no %s on this or the next line", s.directive, what)
@@ -115,21 +137,14 @@ func (s *suppressions) reportStale(p *Pass, what string) {
 // field's doc or trailing comment group. Used by keycoverage, where the
 // annotation attaches to a field declaration rather than a statement.
 func fieldSuppression(p *Pass, directive string, field *ast.Field) (reason string, pos token.Pos, ok bool) {
-	prefix := "tmi3dvet:" + directive
 	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
 		if cg == nil {
 			continue
 		}
 		for _, c := range cg.List {
-			text, found := strings.CutPrefix(c.Text, "//")
-			if !found {
-				continue
+			if rest, found := cutDirective(c, directive); found {
+				return strings.TrimSpace(rest), c.Pos(), true
 			}
-			rest, found := strings.CutPrefix(text, prefix)
-			if !found || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
-				continue
-			}
-			return strings.TrimSpace(rest), c.Pos(), true
 		}
 	}
 	return "", token.NoPos, false

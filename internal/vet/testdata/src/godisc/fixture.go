@@ -1,0 +1,180 @@
+// Package fixture seeds godisc violations — stale loop-variable capture,
+// WaitGroup.Add misplacement (inside the spawned goroutine, after Wait),
+// an unbuffered send with no receiver, an unlocked shared write from a
+// loop-spawned goroutine, and an unbounded per-element spawn — next to the
+// sanctioned shapes that must stay silent: buffered handoff channels,
+// semaphore-throttled fan-out, closure-parameter-indexed result slots,
+// mutex-guarded accumulation, and fixed-size worker fleets. Expected
+// diagnostics live in expect.txt.
+package fixture
+
+import "sync"
+
+func sink(int) {}
+
+func compute() int { return 42 }
+
+// staleCapture: last is rebound by the loop after the goroutine captures it.
+func staleCapture(xs []int) {
+	var wg sync.WaitGroup
+	var last int
+	for i := 0; i < len(xs); i++ {
+		last = xs[i]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sink(last)
+		}()
+	}
+	wg.Wait()
+}
+
+// addInside: the Add races the Wait because it runs inside the goroutine it
+// is supposed to account for.
+func addInside() {
+	var wg sync.WaitGroup
+	go func() {
+		wg.Add(1)
+		defer wg.Done()
+		sink(compute())
+	}()
+	wg.Wait()
+}
+
+// addAfterWait: the second Add lands after a Wait on the same WaitGroup.
+func addAfterWait() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done(); sink(1) }()
+	wg.Wait()
+	wg.Add(1)
+	go func() { defer wg.Done(); sink(2) }()
+	wg.Wait()
+}
+
+// leak: unbuffered channel, sender spawned, nobody ever receives.
+func leak() int {
+	ch := make(chan int)
+	go func() { ch <- compute() }()
+	return 0
+}
+
+// unlockedWrite: the spawned closures all bump total with no lock.
+func unlockedWrite(xs []int) {
+	var wg sync.WaitGroup
+	total := 0
+	for i := 0; i < len(xs); i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			total += xs[i]
+		}(i)
+	}
+	wg.Wait()
+	sink(total)
+}
+
+// unbounded: one goroutine per element of an arbitrarily long slice, no
+// throttle in sight.
+func unbounded(jobs []int) {
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(j int) { defer wg.Done(); sink(j) }(j)
+	}
+	wg.Wait()
+}
+
+// handoff is the sanctioned unbuffered shape: the spawner receives.
+func handoff() int {
+	ch := make(chan int)
+	go func() { ch <- compute() }()
+	return <-ch
+}
+
+// buffered is the sanctioned fire-and-forget shape: capacity covers the send.
+func buffered() {
+	done := make(chan int, 1)
+	go func() { done <- compute() }()
+}
+
+// indexed is the sanctioned fan-out shape: each goroutine owns the slot
+// named by its closure parameter.
+func indexed(xs []int) []int {
+	out := make([]int, len(xs))
+	var wg sync.WaitGroup
+	for i := 0; i < len(xs); i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out[i] = xs[i] * 2
+		}(i)
+	}
+	wg.Wait()
+	return out
+}
+
+// lockedWrite is the sanctioned accumulation shape: the shared total is
+// mutex-guarded.
+func lockedWrite(xs []int) int {
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	total := 0
+	for i := 0; i < len(xs); i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			mu.Lock()
+			total += xs[i]
+			mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+	return total
+}
+
+// bounded is the sanctioned per-element shape: a semaphore caps concurrency,
+// which the channel operation in the loop body proves.
+func bounded(jobs []int) {
+	sem := make(chan struct{}, 4)
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			sink(j)
+			<-sem
+		}(j)
+	}
+	wg.Wait()
+}
+
+// suppressedSpawn: the per-element spawn carries a reasoned suppression.
+func suppressedSpawn(jobs []int) {
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		wg.Add(1)
+		//tmi3dvet:godisc callers cap jobs at GOMAXPROCS before fan-out
+		go func(j int) { defer wg.Done(); sink(j) }(j)
+	}
+	wg.Wait()
+}
+
+// bareSpawn: the suppression pins the site but gives no reason — itself a
+// diagnostic.
+func bareSpawn(jobs []int) {
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		wg.Add(1)
+		//tmi3dvet:godisc
+		go func(j int) { defer wg.Done(); sink(j) }(j)
+	}
+	wg.Wait()
+}
+
+// cleanStale carries a reasoned suppression that excuses nothing — stale.
+func cleanStale() {
+	//tmi3dvet:godisc nothing here spawns, the annotation outlived the code
+	sink(3)
+}

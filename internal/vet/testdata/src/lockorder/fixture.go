@@ -56,3 +56,63 @@ func (p *pair) consistent(fast bool) {
 	p.mu.Unlock()
 	p.a.Unlock()
 }
+
+// rwPair exercises RWMutex mode tracking: the inverted pure-read pair
+// (ra, rb) is not a deadlock — readers admit each other — and must stay
+// silent, while the inverted pair involving a write lock (wa, wb) is still
+// the AB-BA class, and a recursive RLock is still fatal because a queued
+// writer between the two acquisitions wedges the second.
+type rwPair struct {
+	ra, rb sync.RWMutex
+	wa, wb sync.RWMutex
+	n      int
+}
+
+// readAB and readBA invert a pure read-read order: exempt.
+func (p *rwPair) readAB() int {
+	p.ra.RLock()
+	p.rb.RLock()
+	n := p.n
+	p.rb.RUnlock()
+	p.ra.RUnlock()
+	return n
+}
+
+func (p *rwPair) readBA() int {
+	p.rb.RLock()
+	p.ra.RLock()
+	n := p.n
+	p.ra.RUnlock()
+	p.rb.RUnlock()
+	return n
+}
+
+// writeAB write-locks wa before wb; readBWA read-locks them inverted. One
+// writer in the cycle is enough to deadlock against the readers.
+func (p *rwPair) writeAB() {
+	p.wa.Lock()
+	p.wb.Lock()
+	p.n++
+	p.wb.Unlock()
+	p.wa.Unlock()
+}
+
+func (p *rwPair) readBWA() int {
+	p.wb.RLock()
+	p.wa.RLock()
+	n := p.n
+	p.wa.RUnlock()
+	p.wb.RUnlock()
+	return n
+}
+
+// doubleRead reacquires ra read-locked: reported despite both acquisitions
+// being reads.
+func (p *rwPair) doubleRead() int {
+	p.ra.RLock()
+	p.ra.RLock()
+	n := p.n
+	p.ra.RUnlock()
+	p.ra.RUnlock()
+	return n
+}

@@ -1,0 +1,182 @@
+// Package fixture seeds parsafe violations: one loop per hazard class
+// (shared write, non-iteration aliasing, float reduction, RNG draw, append
+// collection, interprocedural global write), the suppression lifecycle
+// (reasoned site, loop-level blanket, bare, stale), anchor discipline
+// (unnamed, dangling, duplicate), and manifest drift (missing entry, dead
+// entry, package mismatch). Expected diagnostics live in expect.txt.
+package fixture
+
+import "math/rand"
+
+// ParLoops is the in-package manifest the reconciler diffs the anchors
+// against.
+var ParLoops = map[string]string{
+	"clean.fill":    "fixture/parsafe",
+	"bad.shared":    "fixture/parsafe",
+	"bad.alias":     "fixture/parsafe",
+	"bad.reduce":    "fixture/parsafe",
+	"bad.rng":       "fixture/parsafe",
+	"bad.append":    "fixture/parsafe",
+	"bad.global":    "fixture/parsafe",
+	"bad.bare":      "fixture/parsafe",
+	"ok.suppressed": "fixture/parsafe",
+	"ok.blanket":    "fixture/parsafe",
+	"dup.loop":      "fixture/parsafe",
+	"wrongpkg.loop": "internal/elsewhere", // package mismatch: anchor is here
+	"dead.loop":     "fixture/parsafe",    // no anchor anywhere: dead entry
+}
+
+var total float64
+
+func bump() { total++ }
+
+// fill is the sanctioned shape: every write is partitioned by the iteration
+// variable, so the loop verifies with zero hazards.
+func fill(dst, src []float64) {
+	//tmi3dvet:parloop clean.fill
+	for i := range src {
+		dst[i] = src[i] * 2
+	}
+}
+
+// shared: a bare write to an outer local — class 1.
+func shared(xs []int) int {
+	sum := 0
+	//tmi3dvet:parloop bad.shared
+	for _, x := range xs {
+		sum = sum + x
+	}
+	return sum
+}
+
+// alias: the index is a body-derived value, not an iteration variable —
+// class 2.
+func alias(dst []int, idx []int) {
+	//tmi3dvet:parloop bad.alias
+	for _, j := range idx {
+		k := j / 2
+		dst[k] = 1
+	}
+}
+
+// reduce: order-dependent float accumulation — class 3.
+func reduce(xs []float64) float64 {
+	acc := 0.0
+	//tmi3dvet:parloop bad.reduce
+	for _, x := range xs {
+		acc += x
+	}
+	return acc
+}
+
+// jitter: RNG draw inside the body — class 4.
+func jitter(dst []float64, rng *rand.Rand) {
+	//tmi3dvet:parloop bad.rng
+	for i := range dst {
+		dst[i] = rng.Float64()
+	}
+}
+
+// collect: append onto a shared slice — class 5.
+func collect(xs []int) []int {
+	var out []int
+	//tmi3dvet:parloop bad.append
+	for _, x := range xs {
+		if x > 0 {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// tally: the hazard hides one call deep — bump writes package-level total.
+func tally(xs []int) {
+	//tmi3dvet:parloop bad.global
+	for range xs {
+		bump()
+	}
+}
+
+// suppressed: the hazard carries a reasoned site suppression.
+func suppressed(xs []int) int {
+	n := 0
+	//tmi3dvet:parloop ok.suppressed
+	for _, x := range xs {
+		//tmi3dvet:parhazard the follow-up accumulates per-worker partials and folds them in index order
+		n += x
+	}
+	return n
+}
+
+// blanket: a loop-level suppression between anchor and for covers every
+// hazard in the body.
+func blanket(xs []float64) float64 {
+	acc := 0.0
+	m := 0
+	//tmi3dvet:parloop ok.blanket
+	//tmi3dvet:parhazard whole loop restructures into per-worker partial sums merged in index order
+	for _, x := range xs {
+		acc += x
+		m++
+	}
+	return acc + float64(m)
+}
+
+// bare: the suppression pins the site but gives no reason — itself a
+// diagnostic.
+func bare(xs []int) int {
+	n := 0
+	//tmi3dvet:parloop bad.bare
+	for _, x := range xs {
+		//tmi3dvet:parhazard
+		n += x
+	}
+	return n
+}
+
+// nothing carries a reasoned suppression that excuses no hazard — stale.
+func nothing(xs []int) {
+	//tmi3dvet:parhazard nothing hazardous here, the annotation outlived the code
+	_ = len(xs)
+}
+
+//tmi3dvet:parloop
+func unnamed() {}
+
+// dangling: the anchor sits above a non-loop statement.
+func dangling() int {
+	//tmi3dvet:parloop dangling.loop
+	n := 1
+	return n
+}
+
+// dupA and dupB anchor the same manifest name twice.
+func dupA(xs []int) {
+	//tmi3dvet:parloop dup.loop
+	for i := range xs {
+		xs[i] = 0
+	}
+}
+
+func dupB(xs []int) {
+	//tmi3dvet:parloop dup.loop
+	for i := range xs {
+		xs[i] = 1
+	}
+}
+
+// orphan is anchored but missing from the manifest.
+func orphan(xs []int) {
+	//tmi3dvet:parloop orphan.loop
+	for i := range xs {
+		xs[i] = 2
+	}
+}
+
+// wrongpkg is anchored here while the manifest claims internal/elsewhere.
+func wrongpkg(xs []int) {
+	//tmi3dvet:parloop wrongpkg.loop
+	for i := range xs {
+		xs[i] = 3
+	}
+}

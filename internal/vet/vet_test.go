@@ -80,6 +80,21 @@ func TestLockOrderFixture(t *testing.T) {
 	if !hasDiag(diags, "reacquire") && !hasDiag(diags, "while already held") {
 		t.Error("lockorder fixture lost the recursive-acquisition diagnostic")
 	}
+	// RWMutex modes: the inverted pure-read pair (ra, rb) is exempt, the
+	// inverted pair with a writer (wa, wb) is still a cycle, and a recursive
+	// RLock is still reported.
+	if !hasDiag(diags, "rwPair.wa → rwPair.wb → rwPair.wa") {
+		t.Error("lockorder lost the writer-involved RWMutex inversion")
+	}
+	if !hasDiag(diags, "RLock of rwPair.ra while already held") {
+		t.Error("lockorder lost the recursive-RLock diagnostic")
+	}
+	for _, d := range diags {
+		if strings.Contains(d.Message, "rwPair.ra → rwPair.rb") ||
+			strings.Contains(d.Message, "rwPair.rb → rwPair.ra") {
+			t.Errorf("pure read-read inversion must be exempt, got: %s", d)
+		}
+	}
 }
 
 func TestSeedPurityFixture(t *testing.T) {
@@ -308,6 +323,185 @@ func TestRepoClean(t *testing.T) {
 	} {
 		if !stages[want] {
 			t.Errorf("flow.Run stage %q missing from the stagedeps export", want)
+		}
+	}
+	// Every flow.ParLoops entry must have resolved to an anchored loop with
+	// a computed effect-set summary — the parallelism green board of ROADMAP
+	// item 3. The verified loops carry zero suppressed hazards; the rest are
+	// parallel-unsafe today and every hazard carries an audited reason.
+	loops := map[string]ParLoop{}
+	for _, pl := range res.ParLoops {
+		loops[pl.Name] = pl
+	}
+	wantLoops := map[string]string{
+		"place.center":   "internal/place",
+		"place.netstate": "internal/place",
+		"route.nets":     "internal/route",
+		"sta.loads":      "internal/sta",
+		"sta.propagate":  "internal/sta",
+		"spice.stamp":    "internal/spice",
+		"opt.maxcap":     "internal/opt",
+	}
+	for name, pkg := range wantLoops {
+		pl, ok := loops[name]
+		if !ok {
+			t.Errorf("manifest parloop %q resolved to no anchor", name)
+			continue
+		}
+		if !strings.HasSuffix(pl.Package, pkg) {
+			t.Errorf("parloop %q anchored in %q, manifest says %q", name, pl.Package, pkg)
+		}
+		if len(pl.Reads) == 0 && len(pl.Writes) == 0 {
+			t.Errorf("parloop %q exported an empty effect set — the proof silently stopped running", name)
+		}
+	}
+	for _, verified := range []string{"place.center", "place.netstate", "sta.loads"} {
+		if pl := loops[verified]; pl.Hazards != 0 {
+			t.Errorf("parloop %q regressed from verified to %d suppressed hazards", verified, pl.Hazards)
+		}
+	}
+	if pl := loops["sta.loads"]; !contains(pl.Writes, "res.Load[i]") {
+		t.Errorf("sta.loads writes = %v, want the iteration-partitioned res.Load[i]", pl.Writes)
+	}
+}
+
+func TestParSafeFixture(t *testing.T) {
+	diags := runFixture(t, "parsafe", "fixture/parsafe", ParSafe)
+	// Each hazard class, the suppression lifecycle, the anchor discipline,
+	// and the manifest diff must all survive in the golden.
+	for _, want := range []string{
+		"reachable from every iteration",  // class 1: shared write
+		"aliases across iterations",       // class 2: aliasing index
+		"order-dependent float reduction", // class 3: shared reduce
+		"RNG draw inside the loop body",   // class 4: RNG in body
+		"append collects into shared",     // class 5: shared collection
+		"suppression without a reason",    // bare //tmi3dvet:parhazard
+		"stale //tmi3dvet:parhazard",      // annotation outlived the code
+		"anchor without a loop name",      // bare //tmi3dvet:parloop
+		"anchors no for statement",        // dangling anchor
+		"duplicate //tmi3dvet:parloop",    // duplicate anchor
+		"no ParLoops manifest entry",      // orphan anchor
+		"declares package",                // manifest package mismatch
+		"dead manifest entry",             // entry with no anchor
+	} {
+		if !hasDiag(diags, want) {
+			t.Errorf("parsafe fixture lost the %q diagnostic class", want)
+		}
+	}
+	// The interprocedural path: tally's hazard names the callee that writes
+	// the package global.
+	if !hasDiag(diags, "bump") {
+		t.Error("parsafe fixture lost the interprocedural global-write hazard through bump")
+	}
+	// The sanctioned shapes stay silent.
+	for _, clean := range []string{"clean.fill", "ok.suppressed", "ok.blanket"} {
+		for _, d := range diags {
+			if strings.Contains(d.Message, clean) {
+				t.Errorf("verified parloop %q was reported: %s", clean, d)
+			}
+		}
+	}
+}
+
+func TestParSafeEffectExport(t *testing.T) {
+	fixDir := filepath.Join("testdata", "src", "parsafe")
+	mod, err := LoadDir(fixDir, "fixture/parsafe")
+	if err != nil {
+		t.Fatalf("LoadDir(%s): %v", fixDir, err)
+	}
+	res := Analyze(mod, []*Analyzer{ParSafe})
+	loops := map[string]ParLoop{}
+	for _, pl := range res.ParLoops {
+		loops[pl.Name] = pl
+	}
+	fill, ok := loops["clean.fill"]
+	if !ok {
+		t.Fatal("clean.fill missing from the ParLoops export")
+	}
+	if fill.Hazards != 0 {
+		t.Errorf("clean.fill verified loop recorded %d suppressed hazards", fill.Hazards)
+	}
+	if !contains(fill.Writes, "dst[i]") {
+		t.Errorf("clean.fill writes = %v, want the iteration-partitioned dst[i]", fill.Writes)
+	}
+	if blanket, ok := loops["ok.blanket"]; !ok || blanket.Hazards != 2 {
+		t.Errorf("ok.blanket = %+v, want 2 hazards suppressed by the loop-level directive", blanket)
+	}
+}
+
+func TestGoDiscFixture(t *testing.T) {
+	diags := runFixture(t, "godisc", "fixture/godisc", GoDisc)
+	for _, want := range []string{
+		"the loop body reassigns",      // stale capture of last
+		"WaitGroup.Add inside",         // Add in spawned goroutine
+		"WaitGroup.Add after Wait",     // Add after Wait
+		"never receives",               // unbuffered send leak
+		"with no lock in the closure",  // unlocked shared write
+		"goroutine per range element",  // unbounded fan-out
+		"suppression without a reason", // bare //tmi3dvet:godisc
+		"stale //tmi3dvet:godisc",      // annotation outlived the code
+	} {
+		if !hasDiag(diags, want) {
+			t.Errorf("godisc fixture lost the %q diagnostic class", want)
+		}
+	}
+	// The sanctioned shapes (handoff, buffered, indexed, lockedWrite,
+	// bounded, suppressedSpawn) stay silent: each generic diagnostic class
+	// must appear exactly once, from its seeded violation — a second
+	// occurrence means a clean shape was flagged. The golden pins positions.
+	for _, once := range []string{
+		"never receives",              // leak only — not handoff or buffered
+		"with no lock in the closure", // unlockedWrite only — not lockedWrite or indexed
+		"per range element",           // unbounded only — not bounded or suppressedSpawn
+	} {
+		n := 0
+		for _, d := range diags {
+			if strings.Contains(d.Message, once) {
+				n++
+			}
+		}
+		if n != 1 {
+			t.Errorf("%q reported %d times, want exactly 1 (a sanctioned shape was flagged)", once, n)
+		}
+	}
+}
+
+// TestNoDoubleSuppressionReports pins the directive-ownership contract from
+// suppress.go: every fixture package is scanned by the full suite, and no
+// bare/stale-suppression diagnostic may appear twice — which is exactly what
+// happens if two analyzers both believe they audit the same directive.
+func TestNoDoubleSuppressionReports(t *testing.T) {
+	fixtures := map[string]string{
+		"maporder":    "fixture/internal/place",
+		"lockorder":   "fixture/lockorder",
+		"seedpurity":  "fixture/internal/route",
+		"keycoverage": "fixture/keycoverage",
+		"stagedeps":   "fixture/internal/flow",
+		"globalmut":   "fixture/internal/liberty",
+		"parsafe":     "fixture/parsafe",
+		"godisc":      "fixture/godisc",
+	}
+	dirs := make([]string, 0, len(fixtures))
+	for dir := range fixtures {
+		dirs = append(dirs, dir)
+	}
+	for _, dir := range dirs {
+		mod, err := LoadDir(filepath.Join("testdata", "src", dir), fixtures[dir])
+		if err != nil {
+			t.Fatalf("LoadDir(%s): %v", dir, err)
+		}
+		diags := Run(mod, All)
+		seen := map[string]string{}
+		for _, d := range diags {
+			if !strings.Contains(d.Message, "suppression without a reason") &&
+				!strings.Contains(d.Message, "stale //tmi3dvet:") {
+				continue
+			}
+			key := d.Pos.String() + " " + d.Message
+			if prev, dup := seen[key]; dup {
+				t.Errorf("%s: directive reported by both %s and %s: %s", dir, prev, d.Check, d.Message)
+			}
+			seen[key] = d.Check
 		}
 	}
 }

@@ -32,9 +32,11 @@ stage build
 go build ./...
 
 stage tmi3dvet
-# The repo's own analyzers: map-iteration order, lock ordering, seed purity,
-# cache-key coverage, per-stage key soundness (stagedeps), and global-state
-# purity (globalmut). A single unsuppressed diagnostic fails the gate; the
+# The repo's own analyzers: map-iteration order, lock ordering (RWMutex-mode
+# aware), seed purity, cache-key coverage, per-stage key soundness
+# (stagedeps), global-state purity (globalmut), parallel-loop safety over the
+# flow.ParLoops anchors (parsafe), and goroutine discipline (godisc). A
+# single unsuppressed diagnostic fails the gate; the
 # -counts tail prints one line per analyzer so the log shows every check ran.
 # Run `go run ./cmd/tmi3dvet -list` for the suite and the suppression syntax.
 go run ./cmd/tmi3dvet -counts ./...
