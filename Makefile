@@ -1,5 +1,5 @@
 # Convenience targets; scripts/check.sh is the canonical CI gate.
-.PHONY: check test build fmt lint vet-custom equiv serve loadgen bench-serve bench-vet
+.PHONY: check test build fmt lint vet-custom equiv serve loadgen bench-serve bench-vet bench-parallel
 
 check:
 	./scripts/check.sh
@@ -44,3 +44,9 @@ bench-serve:
 
 bench-vet:
 	go test ./internal/vet -run '^$$' -bench BenchmarkVet
+
+# The parallel-driver benches: serial baseline, flow-pool fan-out (PR 3),
+# and the intra-flow stage-loop fleet (ROADMAP item 3). Compare ns/op;
+# BENCH_parallel.json holds the committed baseline.
+bench-parallel:
+	go test . -run '^$$' -bench 'BenchmarkStudy(Serial|Parallel|IntraFlow)' -benchtime 1x

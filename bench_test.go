@@ -28,8 +28,8 @@ import (
 )
 
 var (
-	studyOnce sync.Once
-	study     *core.Study
+	studyMu sync.Mutex
+	studies = map[float64]*core.Study{}
 )
 
 func benchScale() float64 {
@@ -42,10 +42,22 @@ func benchScale() float64 {
 	return scale
 }
 
+// benchStudy returns the shared study for the current scale. The cache is
+// keyed by scale — a process-wide sync.Once would silently hand a study
+// built for one scale to a benchmark expecting another (the old bug when
+// TMI3D_SCALE changed between `go test -bench` invocations sharing a
+// test binary, or when a bench pins its own scale).
 func benchStudy(b *testing.B) *core.Study {
 	b.Helper()
-	studyOnce.Do(func() { study = core.NewStudy(benchScale()) })
-	return study
+	scale := benchScale()
+	studyMu.Lock()
+	defer studyMu.Unlock()
+	s, ok := studies[scale]
+	if !ok {
+		s = core.NewStudy(scale)
+		studies[scale] = s
+	}
+	return s
 }
 
 func BenchmarkTable01CellRC(b *testing.B) {
@@ -332,7 +344,7 @@ func BenchmarkAblationTMIWLM(b *testing.B) {
 // comparison matrix (5 circuits × {2D, T-MI}) on a fresh study, so every
 // flow actually executes (no warm study cache; the process-wide library and
 // netlist caches are warm for both variants alike).
-func benchMatrix(b *testing.B, workers int) {
+func benchMatrix(b *testing.B, workers, intra int) {
 	var cfgs []flow.Config
 	for _, name := range circuits.Names {
 		cfgs = append(cfgs,
@@ -342,6 +354,7 @@ func benchMatrix(b *testing.B, workers int) {
 	for i := 0; i < b.N; i++ {
 		s := core.NewStudy(benchScale())
 		s.Workers = workers
+		s.IntraWorkers = intra
 		rs, err := s.RunAll(cfgs)
 		if err != nil {
 			b.Fatal(err)
@@ -351,15 +364,23 @@ func benchMatrix(b *testing.B, workers int) {
 		}
 	}
 	b.ReportMetric(float64(workers), "workers")
+	b.ReportMetric(float64(intra), "intra-workers")
 }
 
-// BenchmarkStudySerial is the -j 1 baseline for the parallel driver.
-func BenchmarkStudySerial(b *testing.B) { benchMatrix(b, 1) }
+// BenchmarkStudySerial is the fully serial baseline: one flow at a time,
+// every stage loop on one worker.
+func BenchmarkStudySerial(b *testing.B) { benchMatrix(b, 1, 1) }
 
-// BenchmarkStudyParallel fans the same matrix across GOMAXPROCS workers;
-// compare ns/op against BenchmarkStudySerial for the wall-clock speedup
-// (BENCH_parallel.json holds the committed baseline).
-func BenchmarkStudyParallel(b *testing.B) { benchMatrix(b, runtime.GOMAXPROCS(0)) }
+// BenchmarkStudyParallel fans the same matrix across GOMAXPROCS flow workers
+// (stage loops serial — the PR 3 axis); compare ns/op against
+// BenchmarkStudySerial for the wall-clock speedup (BENCH_parallel.json holds
+// the committed baseline).
+func BenchmarkStudyParallel(b *testing.B) { benchMatrix(b, runtime.GOMAXPROCS(0), 1) }
+
+// BenchmarkStudyIntraFlow runs the matrix one flow at a time with the full
+// intra-flow worker fleet — the ROADMAP item 3 axis: speedup inside a single
+// flow's stage loops, byte-identical to the serial baseline.
+func BenchmarkStudyIntraFlow(b *testing.B) { benchMatrix(b, 1, runtime.GOMAXPROCS(0)) }
 
 // BenchmarkEquiv measures the formal sign-off cost on the DES mapped netlist:
 // AIG compilation, register correspondence, and structural proof of every

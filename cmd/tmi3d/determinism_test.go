@@ -28,11 +28,12 @@ func TestCrossProcessByteIdentity(t *testing.T) {
 	type artifacts struct {
 		stdout, verilog, def []byte
 	}
-	run := func(tag string) artifacts {
+	run := func(tag string, extra ...string) artifacts {
 		prefix := filepath.Join(dir, tag)
-		cmd := exec.Command(bin,
+		args := append([]string{
 			"-circuit", "FPU", "-scale", "0.1", "-mode", "tmi", "-byfunc",
-			"-dump", prefix)
+			"-dump", prefix}, extra...)
+		cmd := exec.Command(bin, args...)
 		stdout, err := cmd.Output() // -dump's confirmation line goes to stderr
 		if err != nil {
 			t.Fatalf("%s run: %v", tag, err)
@@ -48,7 +49,11 @@ func TestCrossProcessByteIdentity(t *testing.T) {
 		return artifacts{stdout: stdout, verilog: v, def: def}
 	}
 
+	// run1/run2 catch per-process nondeterminism (map iteration order);
+	// serial/parallel pin the intra-flow worker contract: the worker count
+	// must never reach the bytes of any artifact.
 	a, b := run("run1"), run("run2")
+	s1, s4 := run("serial", "-workers", "1"), run("parallel", "-workers", "4")
 	for _, cmp := range []struct {
 		what string
 		x, y []byte
@@ -56,6 +61,10 @@ func TestCrossProcessByteIdentity(t *testing.T) {
 		{"report stdout", a.stdout, b.stdout},
 		{"verilog artifact", a.verilog, b.verilog},
 		{"DEF artifact", a.def, b.def},
+		{"workers=1 vs workers=4 report stdout", s1.stdout, s4.stdout},
+		{"workers=1 vs workers=4 verilog artifact", s1.verilog, s4.verilog},
+		{"workers=1 vs workers=4 DEF artifact", s1.def, s4.def},
+		{"default vs workers=1 report stdout", a.stdout, s1.stdout},
 	} {
 		if !bytes.Equal(cmp.x, cmp.y) {
 			t.Errorf("%s differs between two processes of the same config (%d vs %d bytes):\n--- run1 ---\n%s\n--- run2 ---\n%s",
@@ -81,17 +90,33 @@ func firstDiffContext(a, b []byte) []byte {
 }
 
 // TestAnchoredLoopRaceClean is the dynamic counterpart of the parsafe proof:
-// parsafe statically verifies the //tmi3dvet:parloop place.center and
-// place.netstate loops free of cross-iteration hazards, and this test runs
-// the placer's own test suite under the race detector so the proof is backed
-// by an execution, not just a summary walk. A race here means either the
+// parsafe statically verifies every //tmi3dvet:parloop anchored loop free of
+// cross-iteration hazards, and this test runs each anchored package's
+// worker-identity suite under the race detector so the proof is backed by an
+// execution, not just a summary walk. A race here means either the
 // effect-set analysis missed a write or the loops drifted after anchoring.
 func TestAnchoredLoopRaceClean(t *testing.T) {
 	if testing.Short() {
-		t.Skip("recompiles internal/place instrumented for -race")
+		t.Skip("recompiles the anchored packages instrumented for -race")
 	}
-	cmd := exec.Command("go", "test", "-race", "-count=1", "tmi3d/internal/place")
-	if out, err := cmd.CombinedOutput(); err != nil {
-		t.Fatalf("race-instrumented place tests failed: %v\n%s", err, out)
+	for _, pkg := range []struct {
+		path string
+		run  string // test filter; empty = full suite
+	}{
+		{"tmi3d/internal/place", ""},
+		{"tmi3d/internal/sta", "WorkersMatchSerial"},
+		{"tmi3d/internal/route", "RouteWorkersMatchSerial"},
+		{"tmi3d/internal/spice", "ParallelStampMatchesSerial"},
+		{"tmi3d/internal/opt", "WorkersMatchSerial"},
+	} {
+		args := []string{"test", "-race", "-count=1"}
+		if pkg.run != "" {
+			args = append(args, "-run", pkg.run)
+		}
+		args = append(args, pkg.path)
+		cmd := exec.Command("go", args...)
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("race-instrumented %s tests failed: %v\n%s", pkg.path, err, out)
+		}
 	}
 }

@@ -48,6 +48,7 @@ func main() {
 	dump := flag.String("dump", "", "write <prefix>.v and <prefix>.def implementation artifacts")
 	byfunc := flag.Bool("byfunc", false, "print the per-function power breakdown table")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "max flows run in parallel (-compare runs 2D and T-MI concurrently when >1)")
+	workers := flag.Int("workers", 0, "intra-flow worker budget for the parallel stage loops (0 = split cores across -j flows; results are byte-identical at any value)")
 	flag.Parse()
 	log.SetFlags(0)
 
@@ -63,9 +64,22 @@ func main() {
 		mode = tech.ModeTMIM
 	}
 
+	// Intra-flow budget: explicit, or the cores left per concurrent flow.
+	intra := *workers
+	if intra == 0 {
+		concurrent := 1
+		if *compare && *jobs > 1 {
+			concurrent = 2
+		}
+		intra = runtime.GOMAXPROCS(0) / concurrent
+		if intra < 1 {
+			intra = 1
+		}
+	}
+
 	if *compare {
-		cfg2 := flow.Config{Circuit: *circuit, Scale: *scale, Node: node, Mode: tech.Mode2D, ClockPs: *clock}
-		cfg3 := flow.Config{Circuit: *circuit, Scale: *scale, Node: node, Mode: tech.ModeTMI, ClockPs: *clock}
+		cfg2 := flow.Config{Circuit: *circuit, Scale: *scale, Node: node, Mode: tech.Mode2D, ClockPs: *clock, Workers: intra}
+		cfg3 := flow.Config{Circuit: *circuit, Scale: *scale, Node: node, Mode: tech.ModeTMI, ClockPs: *clock, Workers: intra}
 		var r2, r3 *flow.Result
 		if *jobs > 1 {
 			// Each flow's RNG derives from its config, so the concurrent
@@ -93,7 +107,7 @@ func main() {
 			d.Footprint, d.WL, d.Total, d.Cell, d.Net, d.Leakage, d.Buffers)
 		return
 	}
-	r := run(flow.Config{Circuit: *circuit, Scale: *scale, Node: node, Mode: mode, ClockPs: *clock})
+	r := run(flow.Config{Circuit: *circuit, Scale: *scale, Node: node, Mode: mode, ClockPs: *clock, Workers: intra})
 	print1(r)
 	if *byfunc {
 		printByFunc(r)

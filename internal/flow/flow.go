@@ -24,6 +24,7 @@ import (
 	"tmi3d/internal/lint"
 	"tmi3d/internal/netlist"
 	"tmi3d/internal/opt"
+	"tmi3d/internal/par"
 	"tmi3d/internal/place"
 	"tmi3d/internal/power"
 	"tmi3d/internal/rcx"
@@ -103,6 +104,13 @@ type Config struct {
 	// failing; GateOff skips the checks.
 	//tmi3dvet:nonseed observation-only gate: must not perturb the RNG stream or the layout
 	Equiv lint.GateMode `json:"equiv,omitempty"`
+	// Workers bounds the intra-flow worker fleet of the parallel stage loops
+	// (the ParLoops manifest: placement, routing, optimization, STA, SPICE
+	// stamping); 0 resolves to GOMAXPROCS at setup. Every loop is
+	// byte-identical at any worker count — that determinism contract is what
+	// keeps Workers out of the wire format and the cache key.
+	//tmi3dvet:nonkey worker count never changes result bytes (ParLoops determinism contract); keying on it would split identical artifacts
+	Workers int `json:"-"`
 }
 
 // Result is one completed flow run.
@@ -223,6 +231,10 @@ func Run(cfg Config) (*Result, error) {
 	// contract that lets the experiment engine run flows in parallel and
 	// still produce bit-identical reports.
 	seed := cfg.DeriveSeed()
+	// Intra-flow worker budget, shared by every parallel stage loop below.
+	// Resolved once (0 → GOMAXPROCS) so callers running several flows
+	// concurrently can split the cores between them without oversubscribing.
+	workers := par.Budget(cfg.Workers)
 	prof := newStageTimer()
 	t0 := time.Now()
 	//tmi3dvet:stage library
@@ -351,11 +363,11 @@ func Run(cfg Config) (*Result, error) {
 	//tmi3dvet:stage place
 	placeUtil := util * 0.90
 	t0 = time.Now()
-	pl, err := place.Run(d, place.Options{Lib: lib, Tech: t, TargetUtil: placeUtil, Seed: seed})
+	pl, err := place.Run(d, place.Options{Lib: lib, Tech: t, TargetUtil: placeUtil, Seed: seed, Workers: workers})
 	if err != nil {
 		return nil, err
 	}
-	prof.add("place", time.Since(t0))
+	prof.addPar("place", time.Since(t0), workers)
 
 	// Pre-route optimization on bounding-box parasitics.
 	//tmi3dvet:stage opt
@@ -365,11 +377,12 @@ func Run(cfg Config) (*Result, error) {
 	areaBudget := pl.Die.Area() * 0.95
 	preStats, err := opt.Close(d, opt.Options{
 		Lib: lib, Wire: estWire, Placement: pl, MaxRounds: 8, AreaBudget: areaBudget,
+		Workers: workers,
 	})
 	if err != nil {
 		return nil, err
 	}
-	prof.add("opt", time.Since(t0))
+	prof.addPar("opt", time.Since(t0), workers)
 	if err := lintGate("post-place"); err != nil {
 		return nil, err
 	}
@@ -383,12 +396,12 @@ func Run(cfg Config) (*Result, error) {
 	// Routing and extraction.
 	//tmi3dvet:stage route
 	t0 = time.Now()
-	rt, err := route.Run(pl, route.Options{Tech: t})
+	rt, err := route.Run(pl, route.Options{Tech: t, Workers: workers})
 	if err != nil {
 		return nil, err
 	}
 	ex := rcx.Extract(rt, tb, t)
-	prof.add("route", time.Since(t0))
+	prof.addPar("route", time.Since(t0), workers)
 
 	// Post-route optimization: extracted parasitics, power recovery on.
 	//tmi3dvet:stage opt
@@ -396,12 +409,12 @@ func Run(cfg Config) (*Result, error) {
 	postSrc := extractedWire(ex, pl, tb)
 	postStats, err := opt.Close(d, opt.Options{
 		Lib: lib, Wire: postSrc.fn, Placement: pl, MaxRounds: 8, PowerRecovery: true,
-		NetChanged: postSrc.markDirty, AreaBudget: areaBudget,
+		NetChanged: postSrc.markDirty, AreaBudget: areaBudget, Workers: workers,
 	})
 	if err != nil {
 		return nil, err
 	}
-	prof.add("opt", time.Since(t0))
+	prof.addPar("opt", time.Since(t0), workers)
 	postStats.Upsized += preStats.Upsized
 	postStats.BuffersAdd += preStats.BuffersAdd
 	postStats.Downsized += preStats.Downsized
@@ -414,32 +427,32 @@ func Run(cfg Config) (*Result, error) {
 	var finalWire func(int) sta.WireRC
 	for pass := 0; ; pass++ {
 		t0 = time.Now()
-		rt, err = route.Run(pl, route.Options{Tech: t})
+		rt, err = route.Run(pl, route.Options{Tech: t, Workers: workers})
 		if err != nil {
 			return nil, err
 		}
 		ex = rcx.Extract(rt, tb, t)
-		prof.add("route", time.Since(t0))
+		prof.addPar("route", time.Since(t0), workers)
 		finalSrc := extractedWire(ex, pl, tb)
 		finalWire = finalSrc.fn
 		t0 = time.Now()
-		timing, err = sta.Analyze(d, sta.Env{Lib: lib, Wire: finalWire})
+		timing, err = sta.Analyze(d, sta.Env{Lib: lib, Wire: finalWire, Workers: workers})
 		if err != nil {
 			return nil, err
 		}
-		prof.add("sta", time.Since(t0))
+		prof.addPar("sta", time.Since(t0), workers)
 		if timing.Met() || pass >= 2 {
 			break
 		}
 		t0 = time.Now()
 		ecoStats, err := opt.Close(d, opt.Options{
 			Lib: lib, Wire: finalWire, Placement: pl, MaxRounds: 6, SkipDRV: true,
-			AreaBudget: areaBudget,
+			AreaBudget: areaBudget, Workers: workers,
 		})
 		if err != nil {
 			return nil, err
 		}
-		prof.add("opt", time.Since(t0))
+		prof.addPar("opt", time.Since(t0), workers)
 		postStats.Upsized += ecoStats.Upsized
 		postStats.BuffersAdd += ecoStats.BuffersAdd
 	}

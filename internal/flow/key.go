@@ -81,35 +81,46 @@ func (c Config) DeriveSeed() uint64 {
 	return h.Sum64()
 }
 
-// StageTime is the wall-clock cost of one flow stage.
+// StageTime is the wall-clock cost of one flow stage. Workers is the
+// intra-flow worker budget the stage's parallel loops ran under (1 for
+// stages that are serial by construction) — the profile column that shows
+// whether a slow stage was actually using its cores.
 type StageTime struct {
-	Stage string
-	D     time.Duration
+	Stage   string
+	D       time.Duration
+	Workers int
 }
 
 // stageTimer accumulates wall-clock per named stage, preserving first-seen
 // order so reports read in pipeline order. Stages that run more than once
 // (route, opt, sta in the ECO loop) accumulate.
 type stageTimer struct {
-	order []string
-	acc   map[string]time.Duration
+	order   []string
+	acc     map[string]time.Duration
+	workers map[string]int
 }
 
 func newStageTimer() *stageTimer {
-	return &stageTimer{acc: map[string]time.Duration{}}
+	return &stageTimer{acc: map[string]time.Duration{}, workers: map[string]int{}}
 }
 
-func (t *stageTimer) add(stage string, d time.Duration) {
+func (t *stageTimer) add(stage string, d time.Duration) { t.addPar(stage, d, 1) }
+
+// addPar records a stage interval that ran under the given worker budget.
+func (t *stageTimer) addPar(stage string, d time.Duration, workers int) {
 	if _, ok := t.acc[stage]; !ok {
 		t.order = append(t.order, stage)
 	}
 	t.acc[stage] += d
+	if workers > t.workers[stage] {
+		t.workers[stage] = workers
+	}
 }
 
 func (t *stageTimer) times() []StageTime {
 	out := make([]StageTime, 0, len(t.order))
 	for _, s := range t.order {
-		out = append(out, StageTime{Stage: s, D: t.acc[s]})
+		out = append(out, StageTime{Stage: s, D: t.acc[s], Workers: t.workers[s]})
 	}
 	return out
 }

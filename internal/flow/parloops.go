@@ -1,14 +1,19 @@
 package flow
 
-// ParLoops is the declarative manifest of the hot loops slated for
-// intra-flow parallelism (ROADMAP item 3): loop name -> the package whose
+// ParLoops is the declarative manifest of the intra-flow parallel hot loops
+// (ROADMAP item 3, shipped): loop name -> the package whose
 // //tmi3dvet:parloop anchor marks the loop. The parsafe analyzer
 // (internal/vet) computes each anchored loop's per-iteration effect set on
 // every CI run and diffs the anchor set against this map — a manifest entry
 // with no anchor, an anchor missing here, a package mismatch, or a duplicate
-// name is a diagnostic, so this file is the single green board the parallel
-// PR starts from: every listed loop either verified hazard-free or carries
-// audited //tmi3dvet:parhazard reasons describing the restructure it needs.
+// name is a diagnostic. All seven loops now run under the shared
+// Config.Workers budget via par.For and verify hazard-free: the four that
+// carried //tmi3dvet:parhazard audits were restructured (levelized STA
+// propagation, chunk-frozen routing with in-order usage commits, per-FET
+// stamp buffers folded in index order, score-then-apply max-cap buffering)
+// and their suppressions retired. Every loop is byte-identical at any
+// worker count — the determinism tests in each package and the flow-level
+// workers=1-vs-N identity test hold that contract.
 //
 // The DAC'13 sweep workloads (Tables 10-15) rerun the flow across circuits,
 // nodes and scale factors; these loops dominate the per-run wall clock, so
@@ -17,9 +22,9 @@ package flow
 var ParLoops = map[string]string{
 	"place.center":   "internal/place", // bisect position re-estimate over region instances
 	"place.netstate": "internal/place", // fmRefine per-net side-count/anchor scan
-	"route.nets":     "internal/route", // per-net maze route within a rip-up pass
+	"route.nets":     "internal/route", // chunk-frozen per-net maze route within a rip-up pass
 	"sta.loads":      "internal/sta",   // per-net wire+pin load accumulation
 	"sta.propagate":  "internal/sta",   // levelized arrival/slew propagation
-	"spice.stamp":    "internal/spice", // per-FET MNA conductance stamping
-	"opt.maxcap":     "internal/opt",   // per-net max-cap buffer insertion
+	"spice.stamp":    "internal/spice", // per-FET MNA stamp buffers, folded in index order
+	"opt.maxcap":     "internal/opt",   // max-cap candidate scoring (serial in-order insertion)
 }

@@ -19,7 +19,7 @@ package flow
 // are pure functions of upstream artifacts, which is exactly what makes them
 // cacheable at fine grain.
 var StageKeys = map[string][]string{
-	"setup":    {"Activities", "Circuit", "ClockPs", "Mode", "Node", "PinCapScale", "ResistivityScale", "Scale", "Seed", "Use2DWLM", "Util"},
+	"setup":    {"Activities", "Circuit", "ClockPs", "Mode", "Node", "PinCapScale", "ResistivityScale", "Scale", "Seed", "Use2DWLM", "Util", "Workers"},
 	"library":  {"Mode", "Node", "PinCapScale"},
 	"generate": {"Circuit", "ClockPs", "Node", "Scale"},
 	"wlm":      {"Circuit", "Mode", "Node", "Use2DWLM", "Util"},
@@ -30,5 +30,5 @@ var StageKeys = map[string][]string{
 	"route":    {},
 	"signoff":  {},
 	"power":    {"Activities"},
-	"report":   {"Activities", "Circuit", "ClockPs", "Equiv", "Lint", "Mode", "Node", "PinCapScale", "ResistivityScale", "Scale", "Seed", "Use2DWLM", "Util"},
+	"report":   {"Activities", "Circuit", "ClockPs", "Equiv", "Lint", "Mode", "Node", "PinCapScale", "ResistivityScale", "Scale", "Seed", "Use2DWLM", "Util", "Workers"},
 }

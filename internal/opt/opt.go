@@ -14,6 +14,7 @@ import (
 	"tmi3d/internal/cellgen"
 	"tmi3d/internal/liberty"
 	"tmi3d/internal/netlist"
+	"tmi3d/internal/par"
 	"tmi3d/internal/place"
 	"tmi3d/internal/sta"
 )
@@ -56,6 +57,10 @@ type Options struct {
 	// optimizer regression tests run with this on; production flows leave it
 	// off and rely on the flow-level equiv gates.
 	DebugChecks bool
+	// Workers bounds the worker fleet of the parallel passes (max-cap
+	// candidate scoring and the STA runs inside the closure loop); <= 1
+	// runs serially. Results are byte-identical at any value.
+	Workers int
 }
 
 // Stats summarizes what the optimizer did.
@@ -81,7 +86,7 @@ func Close(d *netlist.Design, opt Options) (*Stats, error) {
 	if opt.SlackMarginPs == 0 {
 		opt.SlackMarginPs = 15
 	}
-	env := sta.Env{Lib: opt.Lib, Wire: opt.Wire}
+	env := sta.Env{Lib: opt.Lib, Wire: opt.Wire, Workers: opt.Workers}
 	st := &Stats{}
 	area := &areaTracker{budget: opt.AreaBudget}
 	if opt.AreaBudget > 0 {
@@ -165,25 +170,45 @@ func Close(d *netlist.Design, opt Options) (*Stats, error) {
 	return st, nil
 }
 
-// fixMaxCap buffers nets whose load exceeds the driver's max capacitance.
+// maxCapCandidate scores one net for the max-cap pass: the sinks to move
+// behind a buffer when the driver's load exceeds its limit, or nil. Pure
+// with respect to the design — it reads netlist, placement, and timing but
+// mutates nothing — and independent of every other net's outcome: a buffer
+// insertion on net A never changes net B's driver, sinks, load, or pin
+// positions. That is what lets the pass score all nets in parallel and
+// apply insertions serially afterwards with results identical to the old
+// interleaved serial loop.
+func maxCapCandidate(d *netlist.Design, opt Options, res *sta.Result, ni int) []netlist.PinRef {
+	if ni == d.ClockNet {
+		return nil
+	}
+	drv := d.Nets[ni].Driver
+	if drv.Inst < 0 || len(d.Nets[ni].Sinks) < 2 {
+		return nil
+	}
+	cell := opt.Lib.MustCell(d.Instances[drv.Inst].CellName)
+	if res.Load[ni] <= cell.MaxCap() {
+		return nil
+	}
+	return fartherHalf(d, opt, ni)
+}
+
+// fixMaxCap buffers nets whose load exceeds the driver's max capacitance:
+// candidates are scored in parallel into per-net slots, then insertions —
+// which mutate the design, placement, and area budget — run serially in
+// net order.
 func fixMaxCap(d *netlist.Design, opt Options, res *sta.Result, st *Stats, area *areaTracker) (int, error) {
 	changed := 0
 	numNets := len(d.Nets)
-	//tmi3dvet:parloop opt.maxcap
-	//tmi3dvet:parhazard InsertBuffer/placeBuffer/areaTracker mutate the shared design and budget — the follow-up partitions nets into driver-disjoint batches and applies insertions serially in net order after parallel candidate scoring
+	cands := make([][]netlist.PinRef, numNets)
+	par.For(opt.Workers, numNets, func(w, lo, hi int) {
+		//tmi3dvet:parloop opt.maxcap
+		for ni := lo; ni < hi; ni++ {
+			cands[ni] = maxCapCandidate(d, opt, res, ni)
+		}
+	})
 	for ni := 0; ni < numNets; ni++ {
-		if ni == d.ClockNet {
-			continue
-		}
-		drv := d.Nets[ni].Driver
-		if drv.Inst < 0 || len(d.Nets[ni].Sinks) < 2 {
-			continue
-		}
-		cell := opt.Lib.MustCell(d.Instances[drv.Inst].CellName)
-		if res.Load[ni] <= cell.MaxCap() {
-			continue
-		}
-		moved := fartherHalf(d, opt, ni)
+		moved := cands[ni]
 		if len(moved) == 0 || !area.allow(opt.Lib.MustCell(opt.BufferCell).Area) {
 			continue
 		}
@@ -260,8 +285,7 @@ func bufferLongNets(d *netlist.Design, opt Options, res *sta.Result, st *Stats, 
 		if ni == d.ClockNet || res.Slack(ni) >= 0 {
 			continue
 		}
-		w := opt.Wire(ni)
-		wireDelay := w.R * (res.Load[ni] - w.C/2) / 1000
+		wireDelay := sta.WireDelay(opt.Wire(ni), res.Load[ni])
 		if wireDelay > opt.WireDelayThresholdPs && len(d.Nets[ni].Sinks) >= 2 {
 			cands = append(cands, cand{ni, wireDelay})
 		}

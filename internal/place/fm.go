@@ -5,13 +5,15 @@ import (
 	"sort"
 
 	"tmi3d/internal/geom"
+	"tmi3d/internal/par"
 )
 
 // engine drives the recursive bisection.
 type engine struct {
-	p      *Placement
-	widths []float64
-	noFM   bool
+	p       *Placement
+	widths  []float64
+	noFM    bool
+	workers int
 }
 
 // bisect recursively partitions insts into the region.
@@ -19,11 +21,20 @@ func (e *engine) bisect(insts []int32, region geom.Rect, vertical bool) {
 	// Update position estimates: everything in this region sits at its
 	// center until split further.
 	cx, cy := region.Center().X, region.Center().Y
-	//tmi3dvet:parloop place.center
-	for _, i := range insts {
-		e.p.X[i] = cx
-		e.p.Y[i] = cy
+	// Each shard writes the X/Y slots of its own instances only; below the
+	// threshold the fleet isn't worth its spawn cost (the recursion visits
+	// mostly small regions) and par.For degenerates to the same serial loop.
+	centerWorkers := e.workers
+	if len(insts) < 2048 {
+		centerWorkers = 1
 	}
+	par.For(centerWorkers, len(insts), func(w, lo, hi int) {
+		//tmi3dvet:parloop place.center
+		for k := lo; k < hi; k++ {
+			e.p.X[insts[k]] = cx
+			e.p.Y[insts[k]] = cy
+		}
+	})
 	if len(insts) <= 8 || (region.W() < 4*e.p.SiteW && region.H() < 2*e.p.RowH) {
 		e.placeLeaf(insts, region)
 		return
@@ -139,49 +150,58 @@ func (e *engine) fmRefine(insts []int32, side map[int32]bool, region geom.Rect, 
 	for k, i := range insts {
 		pos[i] = k
 	}
-	//tmi3dvet:parloop place.netstate
-	for _, ni := range netList {
-		st := netIdx[ni]
-		visit := func(inst int) {
-			if inst < 0 {
-				return
-			}
-			if inRegion[int32(inst)] {
-				if side[int32(inst)] {
-					st.cntB++
-				} else {
-					st.cntA++
+	// Each net owns its private *netState, so shards mutate disjoint
+	// structs; positions and side assignments are only read.
+	netWorkers := e.workers
+	if len(netList) < 512 {
+		netWorkers = 1
+	}
+	par.For(netWorkers, len(netList), func(pw, plo, phi int) {
+		//tmi3dvet:parloop place.netstate
+		for pk := plo; pk < phi; pk++ {
+			ni := netList[pk]
+			st := netIdx[ni]
+			visit := func(inst int) {
+				if inst < 0 {
+					return
 				}
-			} else {
-				if sideOf(geom.Point{X: e.p.X[inst], Y: e.p.Y[inst]}) {
-					st.ancB = true
+				if inRegion[int32(inst)] {
+					if side[int32(inst)] {
+						st.cntB++
+					} else {
+						st.cntA++
+					}
 				} else {
-					st.ancA = true
+					if sideOf(geom.Point{X: e.p.X[inst], Y: e.p.Y[inst]}) {
+						st.ancB = true
+					} else {
+						st.ancA = true
+					}
 				}
 			}
-		}
-		net := &d.Nets[ni]
-		if net.Driver.Inst >= 0 {
-			visit(net.Driver.Inst)
-		} else if pt, ok := e.p.Ports[net.Driver.Pin]; ok {
-			if sideOf(pt) {
-				st.ancB = true
-			} else {
-				st.ancA = true
-			}
-		}
-		for _, s := range net.Sinks {
-			if s.Inst >= 0 {
-				visit(s.Inst)
-			} else if pt, ok := e.p.Ports[s.Pin]; ok {
+			net := &d.Nets[ni]
+			if net.Driver.Inst >= 0 {
+				visit(net.Driver.Inst)
+			} else if pt, ok := e.p.Ports[net.Driver.Pin]; ok {
 				if sideOf(pt) {
 					st.ancB = true
 				} else {
 					st.ancA = true
 				}
 			}
+			for _, s := range net.Sinks {
+				if s.Inst >= 0 {
+					visit(s.Inst)
+				} else if pt, ok := e.p.Ports[s.Pin]; ok {
+					if sideOf(pt) {
+						st.ancB = true
+					} else {
+						st.ancA = true
+					}
+				}
+			}
 		}
-	}
+	})
 
 	// Build the FM core over local ids and run bucket-based passes with
 	// best-prefix rollback.

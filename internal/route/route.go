@@ -16,6 +16,7 @@ import (
 	"sort"
 
 	"tmi3d/internal/geom"
+	"tmi3d/internal/par"
 	"tmi3d/internal/place"
 	"tmi3d/internal/tech"
 )
@@ -33,7 +34,19 @@ type Options struct {
 	Iterations int
 	// NoDetour disables the congestion detour-length model (ablation).
 	NoDetour bool
+	// Workers bounds the worker fleet routing each chunk of nets; <= 1
+	// routes serially. Results are byte-identical at any value: nets route
+	// against the grid as frozen at their chunk boundary, and usage commits
+	// in net order either way.
+	Workers int
 }
+
+// routeChunk is the number of nets routed against one frozen grid snapshot
+// before their usage is committed. Chunk boundaries depend only on the net
+// order, never on the worker count, so they are part of the deterministic
+// algorithm — smaller chunks track congestion more closely, larger ones
+// parallelize better.
+const routeChunk = 64
 
 // NetRoute describes one routed net.
 type NetRoute struct {
@@ -182,20 +195,45 @@ func Run(p *place.Placement, opt Options) (*Result, error) {
 		return order[a].ni < order[b].ni
 	})
 
-	r := &router{g: g, p: p, noDetour: opt.NoDetour}
+	r := &router{g: g, p: p, noDetour: opt.NoDetour, segsByNet: make(map[int][]seg)}
+	results := make([]netResult, routeChunk)
 	for pass := 0; pass < iters; pass++ {
-		//tmi3dvet:parloop route.nets
-		for _, no := range order {
-			if pass > 0 {
-				// Rip up and reroute only congested nets.
-				if !r.isCongested(no.ni) {
-					continue
+		// Pick this pass's work list up front, against the grid as the
+		// previous pass left it: every net on the first pass, only the
+		// congested ones later. Rip-ups are then batched before rerouting —
+		// the congestion decision and the reroutes all see one coherent
+		// grid, regardless of worker count.
+		active := order
+		if pass > 0 {
+			active = active[:0:0]
+			for _, no := range order {
+				if r.isCongested(no.ni) {
+					active = append(active, no)
 				}
-				//tmi3dvet:parhazard ripUp mutates the shared congestion grid — the follow-up batches rip-ups per pass, then merges per-worker grid deltas deterministically in net order
+			}
+			for _, no := range active {
 				r.ripUp(no.ni)
 			}
-			//tmi3dvet:parhazard routeNet reads and bumps the shared congestion grid — the follow-up routes against a pass-frozen grid snapshot and merges usage deltas in net order
-			res.Routes[no.ni] = r.routeNet(no.ni)
+		}
+		// Route in fixed-size chunks: nets of a chunk route concurrently
+		// against the frozen grid into index-addressed slots, then their
+		// usage deltas are committed serially in net order.
+		for lo := 0; lo < len(active); lo += routeChunk {
+			chunk := active[lo:min(lo+routeChunk, len(active))]
+			par.For(opt.Workers, len(chunk), func(w, clo, chi int) {
+				//tmi3dvet:parloop route.nets
+				for k := clo; k < chi; k++ {
+					results[k] = r.routeNetFrozen(chunk[k].ni)
+				}
+			})
+			for k := range chunk {
+				ni := chunk[k].ni
+				for _, s := range results[k].segs {
+					g.apply(s, 1)
+				}
+				r.segsByNet[ni] = results[k].segs
+				res.Routes[ni] = results[k].route
+			}
 		}
 	}
 

@@ -27,6 +27,26 @@ type router struct {
 	segsByNet map[int][]seg
 }
 
+// overlay is a net-private view of congestion-grid deltas: the usage a net
+// has committed itself mid-route, layered over the frozen shared grid. Keys
+// pack (dir, class, edge); edge counts stay far below 2^28 at any scale.
+type overlay map[uint32]float32
+
+func ovKey(dir, class, edge int) uint32 {
+	return uint32(dir)<<31 | uint32(class)<<28 | uint32(edge)
+}
+
+func (ov overlay) at(dir, class, edge int) float64 {
+	return float64(ov[ovKey(dir, class, edge)])
+}
+
+// netResult is one net's routing outcome before commit: the route metrics
+// plus the segments whose usage the commit step folds into the shared grid.
+type netResult struct {
+	route NetRoute
+	segs  []seg
+}
+
 // classForLen picks the natural layer class for a segment length in µm —
 // short nets stay local, long nets climb the stack (Section S9 / Fig 10).
 func classForLen(lenUm float64, pitch float64) tech.LayerClass {
@@ -68,13 +88,13 @@ func (g *grid) walk(s seg, f func(dir, edge int)) {
 	}
 }
 
-// edgeCost prices one edge for a class, strongly penalizing overflow.
-func (g *grid) edgeCost(dir, class, edge int) float64 {
+// edgeCost prices one edge for a class given its effective usage (shared
+// grid plus the routing net's own overlay), strongly penalizing overflow.
+func (g *grid) edgeCost(dir, class int, u float64) float64 {
 	capc := g.cap[dir][class]
 	if capc <= 0 {
 		return 1e6
 	}
-	u := float64(g.usage[dir][class][edge])
 	r := u / capc
 	if r < 0.8 {
 		return 1 + 0.2*r
@@ -85,11 +105,13 @@ func (g *grid) edgeCost(dir, class, edge int) float64 {
 	return 4 + 8*(r-1)*(r-1)*capc
 }
 
-// pathCost prices a candidate segment on a class.
-func (g *grid) pathCost(s seg) float64 {
+// pathCost prices a candidate segment on a class against the frozen grid
+// plus the net's overlay.
+func (g *grid) pathCost(s seg, ov overlay) float64 {
 	cost := 0.0
 	g.walk(s, func(dir, edge int) {
-		cost += g.edgeCost(dir, int(s.class), edge)
+		u := float64(g.usage[dir][int(s.class)][edge]) + ov.at(dir, int(s.class), edge)
+		cost += g.edgeCost(dir, int(s.class), u)
 	})
 	return cost
 }
@@ -100,11 +122,12 @@ func (g *grid) apply(s seg, delta float32) {
 	})
 }
 
-// routeNet routes one net and commits its usage.
-func (r *router) routeNet(ni int) NetRoute {
-	if r.segsByNet == nil {
-		r.segsByNet = make(map[int][]seg)
-	}
+// routeNetFrozen routes one net against the shared congestion grid as
+// frozen at the start of its chunk. The net's own mid-route commits go to a
+// private overlay (each 2-pin connection must see the previous ones), so
+// concurrent calls never touch shared state; the chunk's commit step folds
+// the returned segments into the grid serially in net order.
+func (r *router) routeNetFrozen(ni int) netResult {
 	d := r.p.Design
 	net := &d.Nets[ni]
 	g := r.g
@@ -145,8 +168,9 @@ func (r *router) routeNet(ni int) NetRoute {
 		route.Len = l
 		route.LenByClass[tech.ClassM1] = l
 		route.Class = tech.ClassM1
-		return route
+		return netResult{route: route}
 	}
+	ov := overlay{}
 
 	// Prim-style 2-pin decomposition over gcell positions. Nodes carry the
 	// real coordinates of the point they stand for (pin location, or gcell
@@ -216,7 +240,7 @@ func (r *router) routeNet(ni int) NetRoute {
 		bestSeg := cands[0]
 		bestCost := math.Inf(1)
 		for i, c := range cands {
-			cost := g.pathCost(c)
+			cost := g.pathCost(c, ov)
 			// Prefer the natural class on ties; off-class detours pay a
 			// small premium (extra vias, worse RC fit).
 			cost += float64(i) * 1e-6
@@ -228,7 +252,9 @@ func (r *router) routeNet(ni int) NetRoute {
 				bestSeg = c
 			}
 		}
-		g.apply(bestSeg, 1)
+		g.walk(bestSeg, func(dir, edge int) {
+			ov[ovKey(dir, int(bestSeg.class), edge)]++
+		})
 		segs = append(segs, bestSeg)
 		cl := tech.LayerClass(bestSeg.class)
 		// Congestion detour: when the chosen path crosses overloaded edges,
@@ -240,7 +266,8 @@ func (r *router) routeNet(ni int) NetRoute {
 		g.walk(bestSeg, func(dir, edge int) {
 			edges++
 			capc := g.cap[dir][int(bestSeg.class)]
-			if capc > 0 && float64(g.usage[dir][int(bestSeg.class)][edge]) > capc {
+			u := float64(g.usage[dir][int(bestSeg.class)][edge]) + ov.at(dir, int(bestSeg.class), edge)
+			if capc > 0 && u > capc {
 				over++
 			}
 		})
@@ -266,8 +293,7 @@ func (r *router) routeNet(ni int) NetRoute {
 		}
 	}
 	route.Class = maxClass
-	r.segsByNet[ni] = segs
-	return route
+	return netResult{route: route, segs: segs}
 }
 
 // isCongested reports whether any edge of the net's route is over capacity.

@@ -489,7 +489,18 @@ func (s *Server) runner() func(flow.Config) (*flow.Result, error) {
 	if s.runFlow != nil {
 		return s.runFlow
 	}
-	return flow.Run
+	// Split the cores between the job pool and each flow's intra-flow
+	// worker fleet so pool × intra never oversubscribes the machine. The
+	// budget is byte-identity-neutral (flow keeps Workers out of the cache
+	// key), so it never reaches the client-visible result.
+	intra := runtime.GOMAXPROCS(0) / s.cfg.Workers
+	if intra < 1 {
+		intra = 1
+	}
+	return func(cfg flow.Config) (*flow.Result, error) {
+		cfg.Workers = intra
+		return flow.Run(cfg)
+	}
 }
 
 // ppaJob builds the compute closure for one configuration: run the flow,

@@ -238,10 +238,14 @@ func TestDeadlineExceeded(t *testing.T) {
 	for {
 		code, hdr, _ := get(t, url)
 		if code == 200 {
-			if src := hdr.Get("X-Cache"); src != "lru" && src != "disk" {
+			// A poll can land while the released job is still in the
+			// inflight table and join it; that 200 doesn't yet prove the
+			// cache was warmed, so keep polling until a cache tier answers.
+			if src := hdr.Get("X-Cache"); src == "lru" || src == "disk" {
+				break
+			} else if src != "join" {
 				t.Fatalf("post-timeout hit came from %q, want a cache tier", src)
 			}
-			break
 		}
 		if time.Now().After(deadline) {
 			t.Fatal("abandoned job never warmed the cache")

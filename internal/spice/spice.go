@@ -18,6 +18,7 @@ import (
 	"os"
 
 	"tmi3d/internal/device"
+	"tmi3d/internal/par"
 )
 
 // Ground is the reserved name of the reference node.
@@ -175,7 +176,88 @@ type Options struct {
 	Step float64 // fixed timestep, ps; default Stop/800
 	// MaxNewton bounds Newton iterations per step (default 60).
 	MaxNewton int
+	// Workers bounds the worker fleet that linearizes FETs inside each
+	// Newton iteration; <= 1 (or a small circuit) stamps serially. Results
+	// are bit-identical at any value: stamps are recorded per FET and
+	// folded into G/rhs in FET index order either way.
+	Workers int
 }
+
+// stampOp is one recorded matrix/rhs contribution: G[r,c] += v, or, when
+// c < 0, rhs[r] += v.
+type stampOp struct {
+	r, c int
+	v    float64
+}
+
+// fetStamp holds one FET's linearized contributions — at most six G entries
+// and two rhs entries — in the exact order the direct serial stamping used
+// to apply them, so replaying stamps in FET index order reproduces the
+// serial float accumulation bit for bit.
+type fetStamp struct {
+	ops [8]stampOp
+	n   int
+}
+
+// stampFET linearizes one FET about the node voltages v and records its
+// companion-model contributions. Pure: it writes only the returned stamp,
+// which is what lets the Newton loop evaluate all FETs concurrently.
+func stampFET(m *mosfet, v []float64, row []int) (st fetStamp) {
+	id, gm, gds, dE, sE, sign := fetCurrent(m, v)
+	// Current sign·id flows dE→sE (in NMOS convention after swap).
+	// Linearize: i = id + gm·Δvgs_eff + gds·Δvds_eff where the
+	// effective voltages are sign·(v[g]-v[sE]) and sign·(v[dE]-v[sE]).
+	vgsE := sign * (v[m.g] - v[sE])
+	vdsE := sign * (v[dE] - v[sE])
+	ieq := id - gm*vgsE - gds*vdsE // residual part
+	// i_out(dE) = +sign·(ieq + gm·sign(vg-vsE) + gds·sign(vdE-vsE))
+	// Record conductances for G (current leaving dE, entering sE); a fixed
+	// source node folds into the rhs with its known voltage instead.
+	addG := func(nd, src int, g float64) {
+		if r := row[nd]; r >= 0 {
+			if rs := row[src]; rs >= 0 {
+				st.ops[st.n] = stampOp{r, rs, g}
+			} else {
+				st.ops[st.n] = stampOp{r, -1, -(g * v[src])}
+			}
+			st.n++
+		}
+	}
+	// d(i_dE)/dv = gm·(δg - δs) + gds·(δd - δs), independent of sign
+	// (sign² = 1).
+	addG(dE, m.g, gm)
+	addG(dE, sE, -(gm + gds))
+	addG(dE, dE, gds)
+	addG(sE, m.g, -gm)
+	addG(sE, sE, gm+gds)
+	addG(sE, dE, -gds)
+	if r := row[dE]; r >= 0 {
+		st.ops[st.n] = stampOp{r, -1, -(sign * ieq)}
+		st.n++
+	}
+	if r := row[sE]; r >= 0 {
+		st.ops[st.n] = stampOp{r, -1, sign * ieq}
+		st.n++
+	}
+	return st
+}
+
+// apply folds a recorded stamp into the system in its recorded op order.
+func (st *fetStamp) apply(G *matrix, rhs []float64) {
+	for i := 0; i < st.n; i++ {
+		op := st.ops[i]
+		if op.c >= 0 {
+			G.add(op.r, op.c, op.v)
+		} else {
+			rhs[op.r] += op.v
+		}
+	}
+}
+
+// parFetThreshold is the circuit size below which parallel stamping is not
+// worth the fork/join; characterization circuits (a handful of FETs) stay
+// on the serial path.
+const parFetThreshold = 64
 
 // Result holds transient waveforms.
 type Result struct {
@@ -238,6 +320,8 @@ func (c *Circuit) Transient(o Options) (*Result, error) {
 	rhs := make([]float64, nf)
 	dv := make([]float64, nf)
 	vPrev := make([]float64, n)
+	workers := o.Workers
+	stamps := make([]fetStamp, len(c.fets))
 
 	// solveStep performs Newton iterations for one system; withCaps=false
 	// computes the DC operating point. hStep is the timestep used for the
@@ -277,41 +361,24 @@ func (c *Circuit) Transient(o Options) (*Result, error) {
 					}
 				}
 			}
-			//tmi3dvet:parloop spice.stamp
-			//tmi3dvet:parhazard G.add and rhs[row] are shared-matrix float accumulations — the follow-up stamps into per-worker triplet buffers and folds them into G/rhs in FET index order
-			for fi := range c.fets {
-				m := &c.fets[fi]
-				id, gm, gds, dE, sE, sign := fetCurrent(m, v)
-				// Current sign·id flows dE→sE (in NMOS convention after swap).
-				// Linearize: i = id + gm·Δvgs_eff + gds·Δvds_eff where the
-				// effective voltages are sign·(v[g]-v[sE]) and sign·(v[dE]-v[sE]).
-				vgsE := sign * (v[m.g] - v[sE])
-				vdsE := sign * (v[dE] - v[sE])
-				ieq := id - gm*vgsE - gds*vdsE // residual part
-				// i_out(dE) = +sign·(ieq + gm·sign(vg-vsE) + gds·sign(vdE-vsE))
-				// Stamp conductances into G (current leaving dE, entering sE).
-				addG := func(nd, src int, g float64) {
-					if r := row[nd]; r >= 0 {
-						if rs := row[src]; rs >= 0 {
-							G.add(r, rs, g)
-						} else {
-							rhs[r] -= g * v[src]
-						}
+			// FET linearization: evaluation is per-FET pure (stampFET), so it
+			// shards across workers into index-addressed stamp slots; the
+			// float accumulation into the shared G/rhs happens serially in
+			// FET index order, replaying exactly the serial op sequence.
+			if workers > 1 && len(c.fets) >= parFetThreshold {
+				par.For(workers, len(c.fets), func(w, lo, hi int) {
+					//tmi3dvet:parloop spice.stamp
+					for fi := lo; fi < hi; fi++ {
+						stamps[fi] = stampFET(&c.fets[fi], v, row)
 					}
+				})
+				for fi := range stamps {
+					stamps[fi].apply(G, rhs)
 				}
-				// d(i_dE)/dv = gm·(δg - δs) + gds·(δd - δs), independent of sign
-				// (sign² = 1).
-				addG(dE, m.g, gm)
-				addG(dE, sE, -(gm + gds))
-				addG(dE, dE, gds)
-				addG(sE, m.g, -gm)
-				addG(sE, sE, gm+gds)
-				addG(sE, dE, -gds)
-				if r := row[dE]; r >= 0 {
-					rhs[r] -= sign * ieq
-				}
-				if r := row[sE]; r >= 0 {
-					rhs[r] += sign * ieq
+			} else {
+				for fi := range c.fets {
+					st := stampFET(&c.fets[fi], v, row)
+					st.apply(G, rhs)
 				}
 			}
 			if nf > 0 {

@@ -69,12 +69,7 @@ func CriticalPath(d *netlist.Design, env Env, res *Result) []PathStep {
 			if !ok || math.IsInf(res.Arrival[inNet], -1) {
 				continue
 			}
-			w := env.Wire(inNet)
-			wireDelay := w.R * (res.Load[inNet] - w.C/2) / 1000
-			if wireDelay < 0 {
-				wireDelay = 0
-			}
-			a := res.Arrival[inNet] + wireDelay + arc.Delay.At(res.Slew[inNet], res.Load[net])
+			a := res.Arrival[inNet] + WireDelay(env.Wire(inNet), res.Load[inNet]) + arc.Delay.At(res.Slew[inNet], res.Load[net])
 			if e := math.Abs(a - res.Arrival[net]); e < bestErr {
 				bestErr = e
 				bestNet = inNet

@@ -6,6 +6,13 @@
 // The same engine serves every stage by injecting different wire parasitics:
 // wire-load-model estimates during synthesis, bounding-box estimates after
 // placement, and extracted RC after routing.
+//
+// Analysis is optionally parallel (Env.Workers): the per-net load pass
+// shards nets across a fixed worker fleet, and the arrival/slew passes run
+// level by level — every instance in a topological level depends only on
+// strictly lower levels, so a level's instances compute concurrently into
+// per-instance slots that are scattered serially. Results are byte-identical
+// at any worker count.
 package sta
 
 import (
@@ -14,12 +21,36 @@ import (
 
 	"tmi3d/internal/liberty"
 	"tmi3d/internal/netlist"
+	"tmi3d/internal/par"
 )
 
 // WireRC carries the lumped parasitics of one net.
 type WireRC struct {
 	R float64 // Ω, driver-to-sinks lumped resistance
 	C float64 // fF, wire capacitance
+}
+
+// WireDelay returns the Elmore delay (ps) of a net's wire under the lumped-π
+// interpretation of the extractor's (R, C) pair: the driver charges the
+// far-end capacitance — the sink pins plus the far half of the distributed
+// wire capacitance — through the full lumped resistance, while the near half
+// of the wire sits directly at the driver and adds no wire delay. With
+// load = C_wire + ΣC_pin (the Result.Load convention) that is
+//
+//	delay = R · (load − C/2) / 1000   [kΩ·fF = ps]
+//
+// clamped at zero: a stale or estimated extraction can briefly report a
+// load below half the wire's own capacitance, which must never produce a
+// negative delay. The forward arrival pass, the backward required-time
+// pass, the critical-path tracer, and the optimizer's buffering threshold
+// (internal/opt) all price wires through this one function, so no rewrite
+// can silently skew them apart.
+func WireDelay(w WireRC, load float64) float64 {
+	d := w.R * (load - w.C/2) / 1000
+	if d < 0 {
+		return 0
+	}
+	return d
 }
 
 // Env bundles what timing needs besides the netlist.
@@ -31,6 +62,9 @@ type Env struct {
 	InputSlew float64
 	// ClockPs overrides the design target clock when non-zero.
 	ClockPs float64
+	// Workers bounds the worker fleet of the parallel passes; <= 1 analyzes
+	// serially. Results are byte-identical at any value.
+	Workers int
 }
 
 // Result holds per-net timing plus the summary metrics.
@@ -72,6 +106,35 @@ func cellOf(lib *liberty.Library, inst *netlist.Instance) (*liberty.Cell, error)
 	return c, nil
 }
 
+// resolveCells binds every instance to its library cell up front. A
+// library/netlist mismatch is reported as one error here instead of
+// surfacing as a nil-cell crash in whichever propagation pass touches the
+// unmapped instance first — and the parallel passes then never see an
+// error path inside their loop bodies.
+func resolveCells(lib *liberty.Library, d *netlist.Design) ([]*liberty.Cell, error) {
+	cells := make([]*liberty.Cell, len(d.Instances))
+	for ii := range d.Instances {
+		c, err := cellOf(lib, &d.Instances[ii])
+		if err != nil {
+			return nil, err
+		}
+		cells[ii] = c
+	}
+	return cells, nil
+}
+
+// netVal is one output net's staged value pair from a parallel level pass
+// (arrival/slew for the max pass, min-arrival in a for the hold pass).
+type netVal struct {
+	net  int
+	a, b float64
+}
+
+// instSlot buffers one instance's output-net values during a level pass; the
+// slot array is indexed by position within the level, so concurrent workers
+// write disjoint slots and the serial scatter replays them in a fixed order.
+type instSlot struct{ outs []netVal }
+
 // Analyze runs full static timing analysis.
 func Analyze(d *netlist.Design, env Env) (*Result, error) {
 	lib := env.Lib
@@ -90,25 +153,30 @@ func Analyze(d *netlist.Design, env Env) (*Result, error) {
 	if inputSlew == 0 {
 		inputSlew = 20
 	}
+	workers := env.Workers
 
-	// Net loads: wire capacitance plus sink pin capacitance.
-	//tmi3dvet:parloop sta.loads
-	for i := range d.Nets {
-		load := env.Wire(i).C
-		for _, s := range d.Nets[i].Sinks {
-			if s.Inst < 0 {
-				continue
-			}
-			c, err := cellOf(lib, &d.Instances[s.Inst])
-			if err != nil {
-				return nil, err
-			}
-			load += c.PinCap[s.Pin]
-		}
-		res.Load[i] = load
+	cells, err := resolveCells(lib, d)
+	if err != nil {
+		return nil, err
 	}
 
-	order, err := Levelize(d)
+	// Net loads: wire capacitance plus sink pin capacitance. Every
+	// iteration writes only its own res.Load[i], so the shards are disjoint.
+	par.For(workers, n, func(w, lo, hi int) {
+		//tmi3dvet:parloop sta.loads
+		for i := lo; i < hi; i++ {
+			load := env.Wire(i).C
+			for _, s := range d.Nets[i].Sinks {
+				if s.Inst < 0 {
+					continue
+				}
+				load += cells[s.Inst].PinCap[s.Pin]
+			}
+			res.Load[i] = load
+		}
+	})
+
+	levels, err := levelize(d)
 	if err != nil {
 		return nil, err
 	}
@@ -128,10 +196,7 @@ func Analyze(d *netlist.Design, env Env) (*Result, error) {
 	// Sequential outputs launch at the clock edge.
 	for ii := range d.Instances {
 		inst := &d.Instances[ii]
-		c, err := cellOf(lib, inst)
-		if err != nil {
-			return nil, err
-		}
+		c := cells[ii]
 		if !c.Seq {
 			continue
 		}
@@ -147,52 +212,71 @@ func Analyze(d *netlist.Design, env Env) (*Result, error) {
 		res.Slew[qNet] = arc.OutSlew.At(inputSlew, res.Load[qNet])
 	}
 
-	// Propagate through combinational instances in topological order.
-	//tmi3dvet:parloop sta.propagate
-	//tmi3dvet:parhazard res.Arrival/res.Slew are keyed by outNet, not the iteration variable — safe only levelized: the follow-up parallelizes per topological level, where every outNet is written by exactly one instance in the level
-	for _, ii := range order {
-		inst := &d.Instances[ii]
-		c, _ := cellOf(lib, inst)
-		if c.Seq {
-			continue
+	// Propagate through combinational instances level by level. Within a
+	// level, every input net is driven from a strictly lower level (or a
+	// startpoint), so the per-instance computations are independent: they
+	// run in parallel into position-indexed slots, and the scatter back
+	// into res.Arrival/res.Slew is serial. Each output net has exactly one
+	// driver, so scattered writes never collide either.
+	maxLevel := 0
+	for _, lv := range levels {
+		if len(lv) > maxLevel {
+			maxLevel = len(lv)
 		}
-		for _, out := range c.Outputs {
-			outNet, ok := inst.Pins[out]
-			if !ok {
-				continue
+	}
+	slots := make([]instSlot, maxLevel)
+	for _, lv := range levels {
+		lv := lv
+		par.For(workers, len(lv), func(w, lo, hi int) {
+			//tmi3dvet:parloop sta.propagate
+			for k := lo; k < hi; k++ {
+				buf := &slots[k]
+				buf.outs = buf.outs[:0]
+				ii := int(lv[k])
+				inst := &d.Instances[ii]
+				c := cells[ii]
+				if c.Seq {
+					continue
+				}
+				for _, out := range c.Outputs {
+					outNet, ok := inst.Pins[out]
+					if !ok {
+						continue
+					}
+					load := res.Load[outNet]
+					bestArr := math.Inf(-1)
+					bestSlew := 0.0
+					for ai := range c.Arcs {
+						arc := &c.Arcs[ai]
+						if arc.To != out {
+							continue
+						}
+						inNet, ok := inst.Pins[arc.From]
+						if !ok {
+							continue
+						}
+						inArr := res.Arrival[inNet]
+						if math.IsInf(inArr, -1) {
+							continue
+						}
+						inSlew := res.Slew[inNet]
+						// Wire delay from the input net's driver to this pin.
+						a := inArr + WireDelay(env.Wire(inNet), res.Load[inNet]) + arc.Delay.At(inSlew, load)
+						if a > bestArr {
+							bestArr = a
+							bestSlew = arc.OutSlew.At(inSlew, load)
+						}
+					}
+					if !math.IsInf(bestArr, -1) {
+						buf.outs = append(buf.outs, netVal{outNet, bestArr, bestSlew})
+					}
+				}
 			}
-			load := res.Load[outNet]
-			bestArr := math.Inf(-1)
-			bestSlew := 0.0
-			for ai := range c.Arcs {
-				arc := &c.Arcs[ai]
-				if arc.To != out {
-					continue
-				}
-				inNet, ok := inst.Pins[arc.From]
-				if !ok {
-					continue
-				}
-				inArr := res.Arrival[inNet]
-				if math.IsInf(inArr, -1) {
-					continue
-				}
-				inSlew := res.Slew[inNet]
-				// Wire delay from the input net's driver to this pin.
-				w := env.Wire(inNet)
-				wireDelay := w.R * (w.C/2 + res.Load[inNet] - w.C) / 1000 // kΩ·fF→ps
-				if wireDelay < 0 {
-					wireDelay = 0
-				}
-				a := inArr + wireDelay + arc.Delay.At(inSlew, load)
-				if a > bestArr {
-					bestArr = a
-					bestSlew = arc.OutSlew.At(inSlew, load)
-				}
-			}
-			if !math.IsInf(bestArr, -1) {
-				res.Arrival[outNet] = bestArr
-				res.Slew[outNet] = bestSlew
+		})
+		for k := range lv {
+			for _, nv := range slots[k].outs {
+				res.Arrival[nv.net] = nv.a
+				res.Slew[nv.net] = nv.b
 			}
 		}
 	}
@@ -217,7 +301,7 @@ func Analyze(d *netlist.Design, env Env) (*Result, error) {
 	}
 	for ii := range d.Instances {
 		inst := &d.Instances[ii]
-		c, _ := cellOf(lib, inst)
+		c := cells[ii]
 		if !c.Seq {
 			continue
 		}
@@ -235,6 +319,8 @@ func Analyze(d *netlist.Design, env Env) (*Result, error) {
 	// Hold analysis: propagate MINIMUM arrivals (fastest arc per gate, no
 	// wire pessimism) and check each sequential data pin against its hold
 	// requirement. The clock is ideal, so launch and capture edges align.
+	// The pass reuses the levelized fan-out structure (and the slot
+	// buffers) of the max pass above — same independence argument.
 	minArr := make([]float64, n)
 	for i := range minArr {
 		minArr[i] = math.Inf(1)
@@ -250,7 +336,7 @@ func Analyze(d *netlist.Design, env Env) (*Result, error) {
 	}
 	for ii := range d.Instances {
 		inst := &d.Instances[ii]
-		c, _ := cellOf(lib, inst)
+		c := cells[ii]
 		if !c.Seq {
 			continue
 		}
@@ -260,40 +346,53 @@ func Analyze(d *netlist.Design, env Env) (*Result, error) {
 			}
 		}
 	}
-	for _, ii := range order {
-		inst := &d.Instances[ii]
-		c, _ := cellOf(lib, inst)
-		if c.Seq {
-			continue
-		}
-		for _, out := range c.Outputs {
-			outNet, ok := inst.Pins[out]
-			if !ok {
-				continue
-			}
-			best := math.Inf(1)
-			for ai := range c.Arcs {
-				arc := &c.Arcs[ai]
-				if arc.To != out {
+	for _, lv := range levels {
+		lv := lv
+		par.For(workers, len(lv), func(w, lo, hi int) {
+			for k := lo; k < hi; k++ {
+				buf := &slots[k]
+				buf.outs = buf.outs[:0]
+				ii := int(lv[k])
+				inst := &d.Instances[ii]
+				c := cells[ii]
+				if c.Seq {
 					continue
 				}
-				inNet, ok := inst.Pins[arc.From]
-				if !ok || math.IsInf(minArr[inNet], 1) {
-					continue
-				}
-				if a := minArr[inNet] + arc.Delay.At(res.Slew[inNet], res.Load[outNet]); a < best {
-					best = a
+				for _, out := range c.Outputs {
+					outNet, ok := inst.Pins[out]
+					if !ok {
+						continue
+					}
+					best := math.Inf(1)
+					for ai := range c.Arcs {
+						arc := &c.Arcs[ai]
+						if arc.To != out {
+							continue
+						}
+						inNet, ok := inst.Pins[arc.From]
+						if !ok || math.IsInf(minArr[inNet], 1) {
+							continue
+						}
+						if a := minArr[inNet] + arc.Delay.At(res.Slew[inNet], res.Load[outNet]); a < best {
+							best = a
+						}
+					}
+					if !math.IsInf(best, 1) {
+						buf.outs = append(buf.outs, netVal{net: outNet, a: best})
+					}
 				}
 			}
-			if !math.IsInf(best, 1) {
-				minArr[outNet] = best
+		})
+		for k := range lv {
+			for _, nv := range slots[k].outs {
+				minArr[nv.net] = nv.a
 			}
 		}
 	}
 	res.HoldWNS = math.Inf(1)
 	for ii := range d.Instances {
 		inst := &d.Instances[ii]
-		c, _ := cellOf(lib, inst)
+		c := cells[ii]
 		if !c.Seq {
 			continue
 		}
@@ -307,7 +406,11 @@ func Analyze(d *netlist.Design, env Env) (*Result, error) {
 		res.HoldWNS = 0
 	}
 
-	// Backward pass: required times, for slack-driven optimization.
+	// Backward pass: required times, for slack-driven optimization. Runs
+	// serially in reverse level order — setReq is a min-fold over edges
+	// into shared inNet entries, and a min over a fixed edge set yields the
+	// same value in any order, so this pass needs no slot machinery; it
+	// simply is not the bottleneck the forward passes are.
 	res.Required = make([]float64, n)
 	for i := range res.Required {
 		res.Required[i] = math.Inf(1)
@@ -319,7 +422,7 @@ func Analyze(d *netlist.Design, env Env) (*Result, error) {
 	}
 	for ii := range d.Instances {
 		inst := &d.Instances[ii]
-		c, _ := cellOf(lib, inst)
+		c := cells[ii]
 		if !c.Seq {
 			continue
 		}
@@ -330,29 +433,29 @@ func Analyze(d *netlist.Design, env Env) (*Result, error) {
 	for _, po := range d.SortedPOs() {
 		setReq(d.POs[po], res.ClockPs)
 	}
-	for k := len(order) - 1; k >= 0; k-- {
-		inst := &d.Instances[order[k]]
-		c, _ := cellOf(lib, inst)
-		if c.Seq {
-			continue
-		}
-		for ai := range c.Arcs {
-			arc := &c.Arcs[ai]
-			outNet, ok := inst.Pins[arc.To]
-			if !ok {
+	for li := len(levels) - 1; li >= 0; li-- {
+		lv := levels[li]
+		for k := len(lv) - 1; k >= 0; k-- {
+			ii := int(lv[k])
+			inst := &d.Instances[ii]
+			c := cells[ii]
+			if c.Seq {
 				continue
 			}
-			inNet, ok := inst.Pins[arc.From]
-			if !ok || math.IsInf(res.Required[outNet], 1) {
-				continue
+			for ai := range c.Arcs {
+				arc := &c.Arcs[ai]
+				outNet, ok := inst.Pins[arc.To]
+				if !ok {
+					continue
+				}
+				inNet, ok := inst.Pins[arc.From]
+				if !ok || math.IsInf(res.Required[outNet], 1) {
+					continue
+				}
+				inSlew := res.Slew[inNet]
+				wireDelay := WireDelay(env.Wire(inNet), res.Load[inNet])
+				setReq(inNet, res.Required[outNet]-arc.Delay.At(inSlew, res.Load[outNet])-wireDelay)
 			}
-			inSlew := res.Slew[inNet]
-			w := env.Wire(inNet)
-			wireDelay := w.R * (res.Load[inNet] - w.C/2) / 1000
-			if wireDelay < 0 {
-				wireDelay = 0
-			}
-			setReq(inNet, res.Required[outNet]-arc.Delay.At(inSlew, res.Load[outNet])-wireDelay)
 		}
 	}
 	return res, nil
@@ -371,6 +474,26 @@ func (r *Result) Slack(net int) float64 {
 // logic only; sequential outputs are treated as sources). An error reports a
 // combinational cycle.
 func Levelize(d *netlist.Design) ([]int, error) {
+	levels, err := levelize(d)
+	if err != nil {
+		return nil, err
+	}
+	order := make([]int, 0, len(d.Instances))
+	for _, lv := range levels {
+		for _, ii := range lv {
+			order = append(order, int(ii))
+		}
+	}
+	return order, nil
+}
+
+// levelize computes the topological depth of every instance over the
+// combinational dependency graph (sequential instances and primary inputs
+// are sources) and returns the instances bucketed by level, each bucket in
+// ascending instance-index order. Every instance in a level depends only on
+// strictly lower levels — the independence property the parallel arrival
+// passes rely on. An error reports a combinational cycle.
+func levelize(d *netlist.Design) ([][]int32, error) {
 	// Dependencies: instance depends on the drivers of its input nets.
 	indeg := make([]int, len(d.Instances))
 	dependents := make([][]int32, len(d.Nets))
@@ -394,17 +517,18 @@ func Levelize(d *netlist.Design) ([]int, error) {
 			}
 		}
 	}
+	level := make([]int32, len(d.Instances))
 	queue := make([]int, 0, len(d.Instances))
 	for ii := range d.Instances {
 		if indeg[ii] == 0 {
 			queue = append(queue, ii)
 		}
 	}
-	var order []int
+	processed := 0
 	for len(queue) > 0 {
 		ii := queue[0]
 		queue = queue[1:]
-		order = append(order, ii)
+		processed++
 		if isSeq[ii] {
 			continue
 		}
@@ -415,6 +539,9 @@ func Levelize(d *netlist.Design) ([]int, error) {
 				continue
 			}
 			for _, dep := range dependents[ni] {
+				if l := level[ii] + 1; l > level[dep] {
+					level[dep] = l
+				}
 				indeg[dep]--
 				if indeg[dep] == 0 {
 					queue = append(queue, int(dep))
@@ -422,10 +549,20 @@ func Levelize(d *netlist.Design) ([]int, error) {
 			}
 		}
 	}
-	if len(order) != len(d.Instances) {
-		return nil, fmt.Errorf("sta: combinational cycle (%d of %d ordered)", len(order), len(d.Instances))
+	if processed != len(d.Instances) {
+		return nil, fmt.Errorf("sta: combinational cycle (%d of %d ordered)", processed, len(d.Instances))
 	}
-	return order, nil
+	maxLevel := int32(-1)
+	for _, l := range level {
+		if l > maxLevel {
+			maxLevel = l
+		}
+	}
+	levels := make([][]int32, maxLevel+1)
+	for ii := range d.Instances {
+		levels[level[ii]] = append(levels[level[ii]], int32(ii))
+	}
+	return levels, nil
 }
 
 // isOutputPin reports whether the pin is an output for the given function.

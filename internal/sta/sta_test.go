@@ -1,6 +1,7 @@
 package sta
 
 import (
+	"fmt"
 	"math"
 	"strings"
 	"testing"
@@ -168,6 +169,111 @@ func TestUnmappedInstanceErrors(t *testing.T) {
 	d2 := chain(2, "NOT_A_CELL")
 	if _, err := Analyze(d2, Env{Lib: l, Wire: noWire}); err == nil {
 		t.Error("unknown cell should error")
+	}
+}
+
+// A driver-only instance (no input pins, so never a sink) with a bad cell
+// binding used to slip past the load pass and reach the propagation loops,
+// where `c, _ := cellOf(...)` discarded the error and left a nil cell.
+// resolveCells must reject it up front.
+func TestMissingCellOnDriverOnlyInstanceErrors(t *testing.T) {
+	l := lib(t)
+	d := chain(2, "INV_X1")
+	d.AddInstance("tie", "TIE0", map[string]string{"Z": "floating"}, "Z")
+	d.Instances[len(d.Instances)-1].CellName = "NOT_A_CELL"
+	res, err := Analyze(d, Env{Lib: l, Wire: noWire})
+	if err == nil {
+		t.Fatalf("missing cell on driver-only instance should error, got %+v", res)
+	}
+	if !strings.Contains(err.Error(), "NOT_A_CELL") {
+		t.Errorf("error should name the unknown cell: %v", err)
+	}
+}
+
+// Pins the Elmore lumped-π wire-delay formula R·(load − C/2)/1000, clamped at
+// zero, so no restructuring of the timing passes can silently change it.
+// (The pre-parallel code spelled the load term R·(C/2 + load − C); that
+// collapses to the same expression and is now written directly.)
+func TestWireDelayElmoreForm(t *testing.T) {
+	// 2 kΩ through (25 − 10/2) fF of far-end capacitance = 40 ps, exactly.
+	if got := WireDelay(WireRC{R: 2000, C: 10}, 25); got != 40 {
+		t.Errorf("WireDelay(R=2000, C=10, load=25) = %v, want exactly 40", got)
+	}
+	// Load below half the wire's own C clamps to zero, never negative.
+	if got := WireDelay(WireRC{R: 1000, C: 10}, 2); got != 0 {
+		t.Errorf("WireDelay with load < C/2 = %v, want 0", got)
+	}
+	// Zero-parasitic nets contribute nothing.
+	if got := WireDelay(WireRC{}, 7); got != 0 {
+		t.Errorf("WireDelay with no wire = %v, want 0", got)
+	}
+}
+
+// wide builds depth rows of width parallel inverters between a shared PI and
+// per-column DFF endpoints — each row is one topological level wide enough
+// to engage the worker fleet.
+func wide(width, depth int) *netlist.Design {
+	d := netlist.New("wide")
+	d.AddPI("in", "r0c0")
+	for r := 0; r < depth; r++ {
+		for c := 0; c < width; c++ {
+			in := fmt.Sprintf("r%dc%d", r, c)
+			if r == 0 {
+				in = "r0c0"
+			}
+			out := fmt.Sprintf("r%dc%d", r+1, c)
+			d.AddInstance(fmt.Sprintf("i%d_%d", r, c), "INV", map[string]string{"A": in, "Z": out}, "Z")
+			d.Instances[len(d.Instances)-1].CellName = "INV_X1"
+		}
+	}
+	for c := 0; c < width; c++ {
+		q := fmt.Sprintf("q%d", c)
+		d.AddInstance(fmt.Sprintf("ff%d", c), "DFF",
+			map[string]string{"D": fmt.Sprintf("r%dc%d", depth, c), "CK": "clk", "Q": q}, "Q")
+		d.Instances[len(d.Instances)-1].CellName = "DFF_X1"
+		d.AddPO("out"+q, q)
+	}
+	d.SetClock("clk")
+	d.TargetClockPs = 1000
+	return d
+}
+
+// The worker count must never change a single bit of the result — the
+// intra-flow determinism contract, checked field by field.
+func TestWorkersMatchSerial(t *testing.T) {
+	l := lib(t)
+	d := wide(64, 4)
+	wireFn := func(i int) WireRC { return WireRC{R: float64(100 + i%7*50), C: float64(2 + i%5)} }
+	serial, err := Analyze(d, Env{Lib: l, Wire: wireFn})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 3, 8} {
+		par, err := Analyze(d, Env{Lib: l, Wire: wireFn, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range []struct {
+			name string
+			a, b []float64
+		}{
+			{"Arrival", serial.Arrival, par.Arrival},
+			{"Slew", serial.Slew, par.Slew},
+			{"Required", serial.Required, par.Required},
+			{"Load", serial.Load, par.Load},
+		} {
+			for i := range s.a {
+				if s.a[i] != s.b[i] && !(math.IsInf(s.a[i], 0) && s.a[i] == s.b[i]) {
+					if !(math.IsInf(s.a[i], -1) && math.IsInf(s.b[i], -1)) && !(math.IsInf(s.a[i], 1) && math.IsInf(s.b[i], 1)) {
+						t.Fatalf("workers=%d: %s[%d] = %v, serial %v", workers, s.name, i, s.b[i], s.a[i])
+					}
+				}
+			}
+		}
+		if serial.WNS != par.WNS || serial.TNS != par.TNS || serial.HoldWNS != par.HoldWNS || serial.CriticalNet != par.CriticalNet {
+			t.Fatalf("workers=%d summary differs: WNS %v/%v TNS %v/%v hold %v/%v crit %d/%d",
+				workers, par.WNS, serial.WNS, par.TNS, serial.TNS, par.HoldWNS, serial.HoldWNS, par.CriticalNet, serial.CriticalNet)
+		}
 	}
 }
 

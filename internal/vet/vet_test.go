@@ -327,8 +327,8 @@ func TestRepoClean(t *testing.T) {
 	}
 	// Every flow.ParLoops entry must have resolved to an anchored loop with
 	// a computed effect-set summary — the parallelism green board of ROADMAP
-	// item 3. The verified loops carry zero suppressed hazards; the rest are
-	// parallel-unsafe today and every hazard carries an audited reason.
+	// item 3, now cashed in: all seven loops run under par.For and must
+	// verify hazard-free with zero suppressions.
 	loops := map[string]ParLoop{}
 	for _, pl := range res.ParLoops {
 		loops[pl.Name] = pl
@@ -355,9 +355,9 @@ func TestRepoClean(t *testing.T) {
 			t.Errorf("parloop %q exported an empty effect set — the proof silently stopped running", name)
 		}
 	}
-	for _, verified := range []string{"place.center", "place.netstate", "sta.loads"} {
-		if pl := loops[verified]; pl.Hazards != 0 {
-			t.Errorf("parloop %q regressed from verified to %d suppressed hazards", verified, pl.Hazards)
+	for name := range wantLoops {
+		if pl := loops[name]; pl.Hazards != 0 {
+			t.Errorf("parloop %q regressed from verified to %d suppressed hazards", name, pl.Hazards)
 		}
 	}
 	if pl := loops["sta.loads"]; !contains(pl.Writes, "res.Load[i]") {
