@@ -1,5 +1,5 @@
 # Convenience targets; scripts/check.sh is the canonical CI gate.
-.PHONY: check test build fmt lint vet-custom equiv serve loadgen bench-serve bench-vet bench-parallel
+.PHONY: check test build fmt lint vet-custom equiv serve loadgen bench-serve bench-vet bench-parallel bench-stage
 
 check:
 	./scripts/check.sh
@@ -50,3 +50,9 @@ bench-vet:
 # BENCH_parallel.json holds the committed baseline.
 bench-parallel:
 	go test . -run '^$$' -bench 'BenchmarkStudy(Serial|Parallel|IntraFlow)' -benchtime 1x
+
+# The staged flow engine's reuse on a clock sweep: monolithic vs cold vs
+# warm staged runs, measured in stage-body executions per sweep point.
+# BENCH_stage.json holds the committed baseline.
+bench-stage:
+	go test ./internal/stage -run '^$$' -bench BenchmarkStagedSweep -benchtime 1x

@@ -6,6 +6,8 @@
 //
 //	tmi3d -circuit AES -node 45 -mode tmi -scale 0.5
 //	tmi3d -circuit LDPC -compare           # run 2D and T-MI, print the diff
+//	tmi3d -stagecache ./cache -clock 900   # staged run: reuse unchanged stages
+//	tmi3d stages -stagecache ./cache       # show the per-stage cache plan
 //	tmi3d lint -circuit AES -node 45       # design-integrity lint report
 //	tmi3d equiv -circuit AES -node 45      # formal equivalence sign-off report
 package main
@@ -20,6 +22,7 @@ import (
 	"sync"
 
 	"tmi3d/internal/flow"
+	"tmi3d/internal/stage"
 	"tmi3d/internal/tech"
 )
 
@@ -39,6 +42,11 @@ func main() {
 		serveMain(os.Args[2:])
 		return
 	}
+	if len(os.Args) > 1 && os.Args[1] == "stages" {
+		log.SetFlags(0)
+		stagesMain(os.Args[2:])
+		return
+	}
 	circuit := flag.String("circuit", "AES", "benchmark: FPU, AES, LDPC, DES, M256")
 	nodeF := flag.String("node", "45", "process node: 45 or 7")
 	modeF := flag.String("mode", "2d", "design mode: 2d, tmi, tmim")
@@ -49,20 +57,20 @@ func main() {
 	byfunc := flag.Bool("byfunc", false, "print the per-function power breakdown table")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "max flows run in parallel (-compare runs 2D and T-MI concurrently when >1)")
 	workers := flag.Int("workers", 0, "intra-flow worker budget for the parallel stage loops (0 = split cores across -j flows; results are byte-identical at any value)")
+	stageDir := flag.String("stagecache", "", "staged-flow artifact store directory; reruns reuse unchanged stages (results byte-identical; empty = monolithic flow)")
 	flag.Parse()
 	log.SetFlags(0)
 
-	node := tech.N45
-	if *nodeF == "7" {
-		node = tech.N7
+	if *stageDir != "" {
+		eng, err := stage.New(*stageDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		runFlow = eng.Run
 	}
-	mode := tech.Mode2D
-	switch strings.ToLower(*modeF) {
-	case "tmi", "3d":
-		mode = tech.ModeTMI
-	case "tmim", "3d+m":
-		mode = tech.ModeTMIM
-	}
+
+	node := parseNode(*nodeF)
+	mode := parseMode(*modeF)
 
 	// Intra-flow budget: explicit, or the cores left per concurrent flow.
 	intra := *workers
@@ -146,8 +154,28 @@ func writeArtifacts(r *flow.Result, prefix string) {
 	log.Printf("wrote %s.v and %s.def", prefix, prefix)
 }
 
+func parseNode(s string) tech.Node {
+	if s == "7" || s == "7nm" {
+		return tech.N7
+	}
+	return tech.N45
+}
+
+func parseMode(s string) tech.Mode {
+	switch strings.ToLower(s) {
+	case "tmi", "3d":
+		return tech.ModeTMI
+	case "tmim", "3d+m":
+		return tech.ModeTMIM
+	}
+	return tech.Mode2D
+}
+
+// runFlow executes one flow; -stagecache swaps in a staged engine.
+var runFlow = flow.Run
+
 func run(cfg flow.Config) *flow.Result {
-	r, err := flow.Run(cfg)
+	r, err := runFlow(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

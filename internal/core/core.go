@@ -39,6 +39,11 @@ type Study struct {
 	// flow pool so pool × intra never oversubscribes the machine. Results
 	// are byte-identical at any value.
 	IntraWorkers int
+	// Runner, when set, replaces flow.Run as the flow executor. The staged
+	// engine's Run plugs in here (byte-identical by contract), so an
+	// experiment matrix reuses per-stage artifacts across its sweep points
+	// instead of only deduplicating whole-flow repeats. Set before first use.
+	Runner func(flow.Config) (*flow.Result, error)
 
 	mu       sync.Mutex
 	cache    map[string]*flow.Result
@@ -132,6 +137,9 @@ func (s *Study) run(cfg flow.Config) (*flow.Result, error) {
 	s.mu.Unlock()
 
 	runner := s.runFlow
+	if runner == nil {
+		runner = s.Runner
+	}
 	if runner == nil {
 		runner = flow.Run
 	}

@@ -10,7 +10,6 @@
 package flow
 
 import (
-	"fmt"
 	"math"
 	"strconv"
 	"sync"
@@ -18,7 +17,6 @@ import (
 
 	"tmi3d/internal/captable"
 	"tmi3d/internal/circuits"
-	"tmi3d/internal/cts"
 	"tmi3d/internal/equiv"
 	"tmi3d/internal/liberty"
 	"tmi3d/internal/lint"
@@ -30,9 +28,7 @@ import (
 	"tmi3d/internal/rcx"
 	"tmi3d/internal/route"
 	"tmi3d/internal/sta"
-	"tmi3d/internal/synth"
 	"tmi3d/internal/tech"
-	"tmi3d/internal/wlm"
 )
 
 // clockCalibration scales the paper's target clock periods per circuit and
@@ -73,7 +69,12 @@ type Config struct {
 	Scale   float64   `json:"scale"`
 	Node    tech.Node `json:"node"`
 	Mode    tech.Mode `json:"mode"`
-	// ClockPs overrides the Table 12 target clock when non-zero.
+	// ClockPs overrides the Table 12 target clock when non-zero. The
+	// override is applied at the pre-route optimization stage: synthesis and
+	// placement always run at the base (Table 12) clock, so every point of a
+	// clock sweep shares its generate/synth/place artifacts — the reuse the
+	// staged engine (internal/stage) exploits.
+	//tmi3dvet:nonseed applied after placement; sweep points must share the synth/place RNG stream for per-stage artifact reuse
 	ClockPs float64 `json:"clock_ps,omitempty"`
 	// Util overrides the default placement utilization when non-zero.
 	Util float64 `json:"util,omitempty"`
@@ -217,10 +218,13 @@ func generated(name string, scale float64) (*netlist.Design, error) {
 // Run executes the full flow.
 //
 // The //tmi3dvet:stage anchors segment the body into the named regions of the
-// future per-stage incremental cache (ROADMAP item 1); the stagedeps analyzer
+// per-stage incremental cache (internal/stage); the stagedeps analyzer
 // verifies each region's Config read set against the StageKeys manifest in
 // stagekeys.go, so a stage can never silently grow a dependency its cache key
-// does not cover.
+// does not cover, and the staged engine's declarative DAG is tested against
+// the analyzer's computed artifact edges. The stage bodies live in stages.go,
+// shared verbatim with the engine — that sharing, plus the manifest, is what
+// makes staged execution byte-identical to this monolith.
 func Run(cfg Config) (*Result, error) {
 	//tmi3dvet:stage setup
 	if cfg.Scale == 0 {
@@ -235,303 +239,104 @@ func Run(cfg Config) (*Result, error) {
 	// Resolved once (0 → GOMAXPROCS) so callers running several flows
 	// concurrently can split the cores between them without oversubscribing.
 	workers := par.Budget(cfg.Workers)
-	prof := newStageTimer()
+	prof := NewProfile()
 	t0 := time.Now()
 	//tmi3dvet:stage library
-	t := tech.New(cfg.Node, cfg.Mode)
-	lib, err := liberty.Default(cfg.Node, cfg.Mode)
+	t, lib, err := cfg.Library()
 	if err != nil {
 		return nil, err
 	}
-	if cfg.PinCapScale != 0 && cfg.PinCapScale != 1 {
-		lib = lib.ScalePinCap(cfg.PinCapScale)
-	}
-	prof.add("library", time.Since(t0))
+	prof.Add("library", time.Since(t0))
 
 	//tmi3dvet:stage generate
 	t0 = time.Now()
-	src, err := generated(cfg.Circuit, cfg.Scale)
+	d, calib, err := cfg.GenerateDesign()
 	if err != nil {
 		return nil, err
 	}
-	d := src.Clone()
-	clock := cfg.ClockPs
-	if clock == 0 {
-		clock, err = circuits.TargetClockPs(cfg.Circuit, cfg.Node)
-		if err != nil {
-			return nil, err
-		}
-	}
-	clock *= ClockCalibrationFactor(cfg.Circuit, cfg.Node)
-	d.TargetClockPs = clock
-	prof.add("generate", time.Since(t0))
+	prof.Add("generate", time.Since(t0))
 
 	// Wire load model: estimated die area from the generic netlist.
 	//tmi3dvet:stage wlm
-	areaEst := estimateArea(d, lib)
-	util := cfg.Util
-	if util == 0 {
-		util = circuits.TargetUtilization(cfg.Circuit)
-	}
-	wlmMode := cfg.Mode
-	if cfg.Use2DWLM {
-		wlmMode = tech.Mode2D
-	}
-	model := wlm.BuildForMode(cfg.Node, wlmMode, areaEst/util)
+	model, util := cfg.BuildWLM(d, lib)
 
-	// Design-integrity gates: the flow lints the mapped netlist at the
-	// stage boundaries where the paper's flow runs Encounter sanity checks,
-	// failing fast on Error-severity diagnostics unless relaxed via
-	// cfg.Lint. The closure re-reads d, which later stages rebind.
+	// Design-integrity and formal sign-off gates at the stage boundaries
+	// where the paper's flow runs Encounter sanity checks and Conformal/
+	// Formality compares; see GateSet.
 	//tmi3dvet:stage gates
-	var lintReports []*lint.Report
-	lintGate := func(stage string) error {
-		if cfg.Lint == lint.GateOff {
-			return nil
-		}
-		g0 := time.Now()
-		defer func() { prof.add("lint", time.Since(g0)) }()
-		rep := lint.CheckDesign(d, lint.DesignOptions{Lib: lib})
-		rep.Subject = fmt.Sprintf("%s/%v/%v %s", cfg.Circuit, cfg.Node, cfg.Mode, stage)
-		lintReports = append(lintReports, rep)
-		if cfg.Lint == lint.GateEnforce {
-			if err := rep.Err(); err != nil {
-				return fmt.Errorf("lint gate %s: %w", stage, err)
-			}
-		}
-		return nil
-	}
-
-	// Formal sign-off gates (Fig 1's Conformal/Formality box): every stage
-	// that rewrites the netlist must prove it preserved the logic. The
-	// reference advances with the flow — each stage is checked against the
-	// previous stage's snapshot, so a failure names the guilty stage.
-	var equivReports []*equiv.Report
-	var libCheck *equiv.LibReport
-	if cfg.Equiv != lint.GateOff {
-		t0 = time.Now()
-		libCheck = LibraryCheck()
-		prof.add("equiv", time.Since(t0))
-		if cfg.Equiv == lint.GateEnforce {
-			if err := libCheck.Err(); err != nil {
-				return nil, err
-			}
-		}
-	}
-	equivGate := func(stage string, ref *netlist.Design) error {
-		if cfg.Equiv == lint.GateOff {
-			return nil
-		}
-		g0 := time.Now()
-		defer func() { prof.add("equiv", time.Since(g0)) }()
-		rep, err := equiv.Check(ref, d, equiv.Options{Seed: seed})
-		if err != nil {
-			return fmt.Errorf("equiv gate %s: %w", stage, err)
-		}
-		rep.Subject = fmt.Sprintf("%s/%v/%v %s", cfg.Circuit, cfg.Node, cfg.Mode, stage)
-		equivReports = append(equivReports, rep)
-		if cfg.Equiv == lint.GateEnforce {
-			if err := rep.Err(); err != nil {
-				return fmt.Errorf("equiv gate %s: %w", stage, err)
-			}
-		}
-		return nil
+	gs, err := cfg.Gates(lib, seed, prof)
+	if err != nil {
+		return nil, err
 	}
 
 	//tmi3dvet:stage synth
-	ref := d // generated source netlist, reference for the post-synth check
-	t0 = time.Now()
-	sres, err := synth.Run(d, synth.Options{Lib: lib, WLM: model})
+	sres, ref, err := RunSynth(d, lib, model, gs, prof)
 	if err != nil {
-		return nil, fmt.Errorf("flow %s/%v/%v: synth: %w", cfg.Circuit, cfg.Node, cfg.Mode, err)
+		return nil, err
 	}
 	d = sres.Design
-	prof.add("synth", time.Since(t0))
-	if err := lintGate("post-synth"); err != nil {
-		return nil, err
-	}
-	if err := equivGate("post-synth vs source", ref); err != nil {
-		return nil, err
-	}
-	if cfg.Equiv != lint.GateOff {
-		ref = d.Clone()
-	}
 
-	// Reserve headroom for optimization growth (buffers, upsizing) so the
-	// FINAL utilization lands near the target, as the paper's flow does
-	// (Section S6 reports post-optimization utilizations at the target).
 	//tmi3dvet:stage place
-	placeUtil := util * 0.90
-	t0 = time.Now()
-	pl, err := place.Run(d, place.Options{Lib: lib, Tech: t, TargetUtil: placeUtil, Seed: seed, Workers: workers})
+	pl, err := RunPlace(d, t, lib, util, seed, workers, prof)
 	if err != nil {
 		return nil, err
 	}
-	prof.addPar("place", time.Since(t0), workers)
 
-	// Pre-route optimization on bounding-box parasitics.
+	// Pre-route optimization on bounding-box parasitics. From here on the
+	// flow targets the sweep clock: the override steers optimization,
+	// sign-off, and power while the artifacts above stay clock-independent.
 	//tmi3dvet:stage opt
-	t0 = time.Now()
+	clock := cfg.SweepClockPs(d.TargetClockPs, calib)
+	d.TargetClockPs = clock
 	tb := captable.Build(t, captable.Options{ResistivityScale: cfg.ResistivityScale})
-	estWire := hpwlWire(pl, tb)
 	areaBudget := pl.Die.Area() * 0.95
-	preStats, err := opt.Close(d, opt.Options{
-		Lib: lib, Wire: estWire, Placement: pl, MaxRounds: 8, AreaBudget: areaBudget,
-		Workers: workers,
-	})
+	preStats, ref, err := ClosePreRoute(d, pl, tb, lib, areaBudget, ref, workers, gs, prof)
 	if err != nil {
 		return nil, err
-	}
-	prof.addPar("opt", time.Since(t0), workers)
-	if err := lintGate("post-place"); err != nil {
-		return nil, err
-	}
-	if err := equivGate("post-place vs post-synth", ref); err != nil {
-		return nil, err
-	}
-	if cfg.Equiv != lint.GateOff {
-		ref = d.Clone()
 	}
 
 	// Routing and extraction.
 	//tmi3dvet:stage route
-	t0 = time.Now()
-	rt, err := route.Run(pl, route.Options{Tech: t, Workers: workers})
+	rt, ex, err := RunRoute(pl, t, tb, workers, prof)
 	if err != nil {
 		return nil, err
 	}
-	ex := rcx.Extract(rt, tb, t)
-	prof.addPar("route", time.Since(t0), workers)
 
-	// Post-route optimization: extracted parasitics, power recovery on.
-	//tmi3dvet:stage opt
-	t0 = time.Now()
-	postSrc := extractedWire(ex, pl, tb)
-	postStats, err := opt.Close(d, opt.Options{
-		Lib: lib, Wire: postSrc.fn, Placement: pl, MaxRounds: 8, PowerRecovery: true,
-		NetChanged: postSrc.markDirty, AreaBudget: areaBudget, Workers: workers,
-	})
-	if err != nil {
-		return nil, err
-	}
-	prof.addPar("opt", time.Since(t0), workers)
-	postStats.Upsized += preStats.Upsized
-	postStats.BuffersAdd += preStats.BuffersAdd
-	postStats.Downsized += preStats.Downsized
-
-	// Buffers moved nets around: final route + extraction + sign-off. If the
-	// re-routed parasitics uncover a residual violation, close once more on
-	// the final extraction (ECO-style) and re-route.
+	// Post-route optimization on extracted parasitics (power recovery on),
+	// then sign-off: final route + extraction + timing, with ECO-style
+	// re-closing on residual violations. One stage: post-route closure is
+	// keyed by the first route's parasitics, exactly as the staged engine's
+	// signoff node consumes the route artifact.
 	//tmi3dvet:stage signoff
-	var timing *sta.Result
-	var finalWire func(int) sta.WireRC
-	for pass := 0; ; pass++ {
-		t0 = time.Now()
-		rt, err = route.Run(pl, route.Options{Tech: t, Workers: workers})
-		if err != nil {
-			return nil, err
-		}
-		ex = rcx.Extract(rt, tb, t)
-		prof.addPar("route", time.Since(t0), workers)
-		finalSrc := extractedWire(ex, pl, tb)
-		finalWire = finalSrc.fn
-		t0 = time.Now()
-		timing, err = sta.Analyze(d, sta.Env{Lib: lib, Wire: finalWire, Workers: workers})
-		if err != nil {
-			return nil, err
-		}
-		prof.addPar("sta", time.Since(t0), workers)
-		if timing.Met() || pass >= 2 {
-			break
-		}
-		t0 = time.Now()
-		ecoStats, err := opt.Close(d, opt.Options{
-			Lib: lib, Wire: finalWire, Placement: pl, MaxRounds: 6, SkipDRV: true,
-			AreaBudget: areaBudget, Workers: workers,
-		})
-		if err != nil {
-			return nil, err
-		}
-		prof.addPar("opt", time.Since(t0), workers)
-		postStats.Upsized += ecoStats.Upsized
-		postStats.BuffersAdd += ecoStats.BuffersAdd
-	}
-	if err := lintGate("post-route"); err != nil {
-		return nil, err
-	}
-	if err := equivGate("post-route vs post-place", ref); err != nil {
-		return nil, err
-	}
-	//tmi3dvet:stage power
-	t0 = time.Now()
-	pow, err := power.Analyze(d, power.Env{
-		Lib: lib, Wire: finalWire, Activities: cfg.Activities, Timing: timing,
-	})
+	postStats, err := ClosePostRoute(d, pl, tb, ex, lib, areaBudget, preStats, workers, prof)
 	if err != nil {
 		return nil, err
 	}
-
-	// Clock distribution: an ideal-skew buffered tree over the DFFs. Its
-	// wire capacitance and buffer energy are charged at two transitions per
-	// cycle; the tree shrinks with the T-MI footprint like signal wiring.
-	clk := cts.Build(pl, 0)
-	_, cInt, _ := tb.ClassAverage(tech.ClassIntermediate)
-	clkCap := clk.Wirelength * cInt
-	pow.Wire += clkCap * lib.VDD * lib.VDD / clock
-	pow.WireCap += clkCap / 1000
-	if buf := lib.Cell("CLKBUF_X4"); buf != nil && len(buf.Arcs) > 0 {
-		e := buf.Arcs[0].Energy.At(20, 10)
-		pow.Cell += float64(clk.NumBuffers) * e * 2 / clock
-		pow.Leakage += float64(clk.NumBuffers) * buf.Leakage
+	rt, timing, finalWire, err := RunSignoff(d, pl, tb, t, lib, areaBudget, postStats, workers, prof)
+	if err != nil {
+		return nil, err
 	}
-	pow.Net = pow.Wire + pow.Pin
-	pow.Total = pow.Cell + pow.Net + pow.Leakage
-	prof.add("power", time.Since(t0))
+	if err := gs.Lint("post-route", d); err != nil {
+		return nil, err
+	}
+	if err := gs.Equiv("post-route vs post-place", ref, d); err != nil {
+		return nil, err
+	}
+
+	//tmi3dvet:stage power
+	pow, clk, err := RunPower(d, lib, finalWire, cfg.Activities, timing, clock, pl, tb, prof)
+	if err != nil {
+		return nil, err
+	}
 
 	//tmi3dvet:stage report
-	res := &Result{
-		Config:     cfg,
-		Design:     d,
-		Placement:  pl,
-		Footprint:  pl.Die.Area(),
-		DieW:       pl.Die.W(),
-		DieH:       pl.Die.H(),
-		NumCells:   len(d.Instances),
-		Util:       placedUtil(d, lib, pl),
-		TotalWL:    rt.TotalLen,
-		WLByClass:  rt.LenByClass,
-		Overflow:   rt.Overflow,
-		WNS:        timing.WNS,
-		ClockPs:    clock,
-		Power:      pow,
-		OptStats:   postStats,
-		SynthStats: sres.Stats,
-		WLSamples:  map[int][]float64{},
-	}
-	res.LintReports = lintReports
-	res.EquivReports = equivReports
-	res.LibCheck = libCheck
-	res.StageTimes = prof.times()
-	res.TotalWL += clk.Wirelength
-	res.WLByClass[tech.ClassIntermediate] += clk.Wirelength // clock routes on 2x layers
-	res.ClockWL = clk.Wirelength
-	res.ClockBuffers = clk.NumBuffers
-	st := d.Stats()
-	res.NumBuffers = st.NumBuffers + clk.NumBuffers
-	res.AvgFanout = st.AverageFanout
-	for i := range d.Instances {
-		res.CellArea += lib.MustCell(d.Instances[i].CellName).Area
-	}
-	for ni := range d.Nets {
-		if ni == d.ClockNet {
-			continue
-		}
-		f := d.Nets[ni].Fanout()
-		if f > 32 {
-			f = 32
-		}
-		res.WLSamples[f] = append(res.WLSamples[f], rt.Routes[ni].Len)
-	}
+	lintReports, equivReports := gs.Reports()
+	res := AssembleResult(cfg, lib, ReportInputs{
+		Design: d, Placement: pl, Route: rt, Timing: timing, ClockPs: clock,
+		Power: pow, ClockTree: clk, OptStats: postStats, SynthStats: sres.Stats,
+		LintReports: lintReports, EquivReports: equivReports,
+		LibCheck: gs.LibCheck(), StageTimes: prof.Times(),
+	})
 	return res, nil
 }
 

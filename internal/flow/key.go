@@ -28,8 +28,19 @@ func (c Config) Key() string {
 }
 
 // writePhysicalKey emits the fields that determine the physical design —
-// the layout-relevant subset of Key, and the domain of DeriveSeed.
+// the layout-relevant subset of Key.
 func (c Config) writePhysicalKey(b *strings.Builder) {
+	c.writeKeyTerms(b, c.ClockPs)
+}
+
+// writeKeyTerms renders the physical key with an explicit clock term. Key
+// passes the real ClockPs; DeriveSeed pins it to 0: synthesis and placement
+// run at the base (Table 12) clock regardless of a sweep override — the
+// override is applied at the pre-route opt stage — so the RNG stream, and
+// with it the placement, is shared across sweep points. Without that, the
+// per-stage cache (internal/stage) could never reuse a synthesized or placed
+// artifact across a clock sweep.
+func (c Config) writeKeyTerms(b *strings.Builder, clockPs float64) {
 	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 	b.WriteString(c.Circuit)
 	b.WriteString("|scale=")
@@ -39,7 +50,7 @@ func (c Config) writePhysicalKey(b *strings.Builder) {
 	b.WriteString("|mode=")
 	b.WriteString(strconv.Itoa(int(c.Mode)))
 	b.WriteString("|clock=")
-	b.WriteString(f(c.ClockPs))
+	b.WriteString(f(clockPs))
 	b.WriteString("|util=")
 	b.WriteString(f(c.Util))
 	b.WriteString("|pincap=")
@@ -72,10 +83,12 @@ func (c Config) writePhysicalKey(b *strings.Builder) {
 // the config, which is what makes parallel execution bit-identical to serial:
 // no stage consumes randomness whose value depends on scheduling order.
 // Gate modes (Lint, Equiv) are excluded — observation must not move the
-// layout.
+// layout. ClockPs is excluded too (the clock term is pinned to 0): the
+// override only steers the post-placement stages, so sweep points must draw
+// from the same stream to share their synth/place artifacts.
 func (c Config) DeriveSeed() uint64 {
 	var b strings.Builder
-	c.writePhysicalKey(&b)
+	c.writeKeyTerms(&b, 0)
 	h := fnv.New64a()
 	h.Write([]byte(b.String()))
 	return h.Sum64()
@@ -91,23 +104,27 @@ type StageTime struct {
 	Workers int
 }
 
-// stageTimer accumulates wall-clock per named stage, preserving first-seen
+// Profile accumulates wall-clock per named stage, preserving first-seen
 // order so reports read in pipeline order. Stages that run more than once
-// (route, opt, sta in the ECO loop) accumulate.
-type stageTimer struct {
+// (route, opt, sta in the ECO loop) accumulate. Exported so the staged
+// engine (internal/stage) can thread one profile through the same stage
+// helpers the monolithic Run uses; timing is observational only.
+type Profile struct {
 	order   []string
 	acc     map[string]time.Duration
 	workers map[string]int
 }
 
-func newStageTimer() *stageTimer {
-	return &stageTimer{acc: map[string]time.Duration{}, workers: map[string]int{}}
+// NewProfile returns an empty stage-time profile.
+func NewProfile() *Profile {
+	return &Profile{acc: map[string]time.Duration{}, workers: map[string]int{}}
 }
 
-func (t *stageTimer) add(stage string, d time.Duration) { t.addPar(stage, d, 1) }
+// Add records a serial stage interval.
+func (t *Profile) Add(stage string, d time.Duration) { t.AddPar(stage, d, 1) }
 
-// addPar records a stage interval that ran under the given worker budget.
-func (t *stageTimer) addPar(stage string, d time.Duration, workers int) {
+// AddPar records a stage interval that ran under the given worker budget.
+func (t *Profile) AddPar(stage string, d time.Duration, workers int) {
 	if _, ok := t.acc[stage]; !ok {
 		t.order = append(t.order, stage)
 	}
@@ -117,7 +134,8 @@ func (t *stageTimer) addPar(stage string, d time.Duration, workers int) {
 	}
 }
 
-func (t *stageTimer) times() []StageTime {
+// Times returns the accumulated per-stage costs in first-seen order.
+func (t *Profile) Times() []StageTime {
 	out := make([]StageTime, 0, len(t.order))
 	for _, s := range t.order {
 		out = append(out, StageTime{Stage: s, D: t.acc[s], Workers: t.workers[s]})

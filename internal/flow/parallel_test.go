@@ -83,7 +83,12 @@ func TestDeriveSeed(t *testing.T) {
 	}
 	b := a
 	b.ClockPs = 777
-	if a.DeriveSeed() == b.DeriveSeed() {
+	if a.DeriveSeed() != b.DeriveSeed() {
+		t.Error("ClockPs changed the derived seed — clock-sweep points must share the synth/place RNG stream")
+	}
+	bb := a
+	bb.Util = 0.9
+	if a.DeriveSeed() == bb.DeriveSeed() {
 		t.Error("distinct configs share an RNG stream")
 	}
 	c := a

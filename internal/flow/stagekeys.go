@@ -10,23 +10,27 @@ package flow
 // distinct cache entries.
 //
 // Everything a stage consumes beyond its key fields is an upstream artifact
-// (netlist, placement, the derived seed, the gate closures) and is covered by
-// the producing stage's artifact hash — that producer/consumer edge set, also
-// computed by stagedeps, is the dependency DAG the incremental flow cache
-// (ROADMAP item 1) will walk.
+// (netlist, placement, the derived seed, the gate set) and is covered by the
+// producing stage's artifact hash — that producer/consumer edge set, also
+// computed by stagedeps, is the dependency DAG the staged engine
+// (internal/stage) walks; its declarative copy is tested against the
+// analyzer's facts.
 //
-// Reporting-only stages have empty keys on purpose: place, route, and signoff
-// are pure functions of upstream artifacts, which is exactly what makes them
-// cacheable at fine grain.
+// Reporting-only stages have empty keys on purpose: synth, place, route, and
+// signoff are pure functions of upstream artifacts, which is exactly what
+// makes them cacheable at fine grain. ClockPs appears only at opt (and the
+// whole-config report stage): a sweep override steers optimization and
+// sign-off, never synthesis or placement, so clock-sweep points share every
+// upstream artifact.
 var StageKeys = map[string][]string{
-	"setup":    {"Activities", "Circuit", "ClockPs", "Mode", "Node", "PinCapScale", "ResistivityScale", "Scale", "Seed", "Use2DWLM", "Util", "Workers"},
+	"setup":    {"Activities", "Circuit", "Mode", "Node", "PinCapScale", "ResistivityScale", "Scale", "Seed", "Use2DWLM", "Util", "Workers"},
 	"library":  {"Mode", "Node", "PinCapScale"},
-	"generate": {"Circuit", "ClockPs", "Node", "Scale"},
+	"generate": {"Circuit", "Node", "Scale"},
 	"wlm":      {"Circuit", "Mode", "Node", "Use2DWLM", "Util"},
 	"gates":    {"Circuit", "Equiv", "Lint", "Mode", "Node"},
-	"synth":    {"Circuit", "Equiv", "Mode", "Node"},
+	"synth":    {},
 	"place":    {},
-	"opt":      {"Equiv", "ResistivityScale"},
+	"opt":      {"ClockPs", "ResistivityScale"},
 	"route":    {},
 	"signoff":  {},
 	"power":    {"Activities"},

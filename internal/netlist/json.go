@@ -1,0 +1,95 @@
+package netlist
+
+import "encoding/json"
+
+// JSON codec for Design — the staged engine's netlist artifact format. The
+// exported topology round-trips exactly; the unexported name index is
+// derivable (netIndex[n.Name] = i for every net) and is rebuilt on decode,
+// so a decoded design behaves identically to the original, AddNet dedup
+// included. Maps encode with sorted keys under encoding/json, so equal
+// designs encode to identical bytes.
+
+// netJSON is the canonical wire form of a Net: nil and empty sink lists both
+// encode as [] and decode to nil, so a design and its Clone (which normalizes
+// nil slices to empty) encode to identical bytes — equal designs must yield
+// equal artifact bytes regardless of how their sink slices were built.
+type netJSON struct {
+	Name   string   `json:"name"`
+	Driver PinRef   `json:"driver"`
+	Sinks  []PinRef `json:"sinks"`
+}
+
+// MarshalJSON encodes the net with a canonical (never-null) sink list.
+func (n Net) MarshalJSON() ([]byte, error) {
+	sinks := n.Sinks
+	if sinks == nil {
+		sinks = []PinRef{}
+	}
+	return json.Marshal(netJSON{Name: n.Name, Driver: n.Driver, Sinks: sinks})
+}
+
+// UnmarshalJSON restores a net, normalizing an empty sink list to nil.
+func (n *Net) UnmarshalJSON(b []byte) error {
+	var in netJSON
+	if err := json.Unmarshal(b, &in); err != nil {
+		return err
+	}
+	n.Name = in.Name
+	n.Driver = in.Driver
+	n.Sinks = in.Sinks
+	if len(n.Sinks) == 0 {
+		n.Sinks = nil
+	}
+	return nil
+}
+
+type designJSON struct {
+	Name          string         `json:"name"`
+	Instances     []Instance     `json:"instances"`
+	Nets          []Net          `json:"nets"`
+	PIs           map[string]int `json:"pis"`
+	POs           map[string]int `json:"pos"`
+	ClockNet      int            `json:"clock_net"`
+	TargetClockPs float64        `json:"target_clock_ps"`
+}
+
+// MarshalJSON encodes the design including sentinel driver values (-1 =
+// design port, -2 = undriven).
+func (d *Design) MarshalJSON() ([]byte, error) {
+	return json.Marshal(designJSON{
+		Name:          d.Name,
+		Instances:     d.Instances,
+		Nets:          d.Nets,
+		PIs:           d.PIs,
+		POs:           d.POs,
+		ClockNet:      d.ClockNet,
+		TargetClockPs: d.TargetClockPs,
+	})
+}
+
+// UnmarshalJSON restores a design written by MarshalJSON, rebuilding the
+// net name index.
+func (d *Design) UnmarshalJSON(b []byte) error {
+	var in designJSON
+	if err := json.Unmarshal(b, &in); err != nil {
+		return err
+	}
+	d.Name = in.Name
+	d.Instances = in.Instances
+	d.Nets = in.Nets
+	d.PIs = in.PIs
+	d.POs = in.POs
+	if d.PIs == nil {
+		d.PIs = map[string]int{}
+	}
+	if d.POs == nil {
+		d.POs = map[string]int{}
+	}
+	d.ClockNet = in.ClockNet
+	d.TargetClockPs = in.TargetClockPs
+	d.netIndex = make(map[string]int, len(d.Nets))
+	for i := range d.Nets {
+		d.netIndex[d.Nets[i].Name] = i
+	}
+	return nil
+}

@@ -1,0 +1,70 @@
+package place
+
+import (
+	"tmi3d/internal/geom"
+	"tmi3d/internal/netlist"
+)
+
+// Snapshot is the deterministic wire form of a Placement, without the Design
+// pointer: the staged engine ships the design as its own artifact and rebinds
+// on decode. All fields are exported and finite, so encoding/json round-trips
+// it exactly (Ports encodes with sorted keys).
+type Snapshot struct {
+	Die   geom.Rect             `json:"die"`
+	RowH  float64               `json:"row_h"`
+	SiteW float64               `json:"site_w"`
+	X     []float64             `json:"x"`
+	Y     []float64             `json:"y"`
+	Ports map[string]geom.Point `json:"ports"`
+	Util  float64               `json:"util"`
+}
+
+// Snapshot captures the placement's geometry. The copy is deep: mutating the
+// placement afterwards (optimization appends buffer coordinates) never
+// changes a snapshot already taken.
+func (p *Placement) Snapshot() Snapshot {
+	s := Snapshot{
+		Die:   p.Die,
+		RowH:  p.RowH,
+		SiteW: p.SiteW,
+		X:     append([]float64(nil), p.X...),
+		Y:     append([]float64(nil), p.Y...),
+		Util:  p.Util,
+	}
+	if p.Ports != nil {
+		s.Ports = make(map[string]geom.Point, len(p.Ports))
+		for k, v := range p.Ports {
+			s.Ports[k] = v
+		}
+	}
+	return s
+}
+
+// Restore rebuilds a Placement from a snapshot, bound to d. The snapshot's
+// slices and map are not shared with the result.
+func (s Snapshot) Restore(d *netlist.Design) *Placement {
+	p := &Placement{
+		Design: d,
+		Die:    s.Die,
+		RowH:   s.RowH,
+		SiteW:  s.SiteW,
+		X:      append([]float64(nil), s.X...),
+		Y:      append([]float64(nil), s.Y...),
+		Util:   s.Util,
+	}
+	if s.Ports != nil {
+		p.Ports = make(map[string]geom.Point, len(s.Ports))
+		for k, v := range s.Ports {
+			p.Ports[k] = v
+		}
+	}
+	return p
+}
+
+// CloneFor returns a deep copy of the placement bound to d — the staged
+// engine's clone-on-consume discipline: cached placement artifacts are
+// immutable, and a consumer that optimizes the design (moving and adding
+// cells) works on its own copy.
+func (p *Placement) CloneFor(d *netlist.Design) *Placement {
+	return p.Snapshot().Restore(d)
+}

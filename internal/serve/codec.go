@@ -6,39 +6,17 @@
 // The serving contract is byte-identity: a response for a flow configuration
 // is exactly EncodeResult(flow.Run(cfg)) — whether it was computed on this
 // request, deduplicated onto a concurrent identical request, read back from
-// the on-disk store, or served from the LRU. Everything in the package is
-// built to preserve that property (canonical JSON, checksummed store
+// the on-disk store, served from the LRU, or assembled from per-stage
+// artifacts by the staged engine (internal/stage). Everything in the package
+// is built to preserve that property (canonical JSON, checksummed store
 // entries, deterministic flow seeds).
 package serve
 
-import (
-	"bytes"
-	"encoding/json"
-	"fmt"
+import "tmi3d/internal/flow"
 
-	"tmi3d/internal/flow"
-)
+// EncodeResult renders the canonical wire encoding of a flow result; see
+// flow.EncodeResult, which owns the format.
+func EncodeResult(r *flow.Result) ([]byte, error) { return flow.EncodeResult(r) }
 
-// EncodeResult renders the canonical wire encoding of a flow result: compact
-// JSON with sorted map keys and unescaped HTML, terminated by a newline.
-// Two encodings of equal results are byte-identical; this is the payload
-// stored on disk, cached in the LRU, and served to clients.
-func EncodeResult(r *flow.Result) ([]byte, error) {
-	var buf bytes.Buffer
-	enc := json.NewEncoder(&buf)
-	enc.SetEscapeHTML(false)
-	if err := enc.Encode(r); err != nil {
-		return nil, fmt.Errorf("serve: encode result: %w", err)
-	}
-	return buf.Bytes(), nil
-}
-
-// DecodeResult parses a payload written by EncodeResult. The returned result
-// carries no Design/Placement (they never go over the wire).
-func DecodeResult(data []byte) (*flow.Result, error) {
-	var r flow.Result
-	if err := json.Unmarshal(data, &r); err != nil {
-		return nil, fmt.Errorf("serve: decode result: %w", err)
-	}
-	return &r, nil
-}
+// DecodeResult parses a payload written by EncodeResult.
+func DecodeResult(data []byte) (*flow.Result, error) { return flow.DecodeResult(data) }

@@ -68,6 +68,11 @@ func (s *Server) studyFor(scale float64, seed uint64) *core.Study {
 	if !ok {
 		st := core.NewStudy(scale)
 		st.Seed = seed
+		if s.engine != nil {
+			// Experiment flows route through the staged engine: sweep points
+			// sharing upstream stages reuse their artifacts.
+			st.Runner = s.engine.Run
+		}
 		e = &studyEntry{study: st}
 		s.studies[key] = e
 	}

@@ -19,6 +19,7 @@ import (
 	"tmi3d/internal/flow"
 	"tmi3d/internal/lint"
 	"tmi3d/internal/report"
+	"tmi3d/internal/stage"
 	"tmi3d/internal/tech"
 )
 
@@ -26,6 +27,11 @@ import (
 type Config struct {
 	// StoreDir is the root of the persistent result store (required).
 	StoreDir string
+	// StageDir, when set, roots a staged-flow artifact store: jobs execute
+	// through the stage engine instead of the monolithic flow, so a sweep
+	// point that shares upstream stages with an earlier request reuses their
+	// artifacts (byte-identical results either way). Empty disables staging.
+	StageDir string
 	// Workers bounds concurrently executing jobs; 0 = GOMAXPROCS.
 	Workers int
 	// QueueDepth bounds jobs admitted but not yet running; a full queue
@@ -86,6 +92,9 @@ type Server struct {
 	logger  *slog.Logger
 	start   time.Time
 
+	// engine is the staged-flow executor (nil without Config.StageDir).
+	engine *stage.Engine
+
 	mu       sync.Mutex
 	jobs     map[string]*job
 	queue    chan *job
@@ -132,10 +141,38 @@ func NewServer(cfg Config) (*Server, error) {
 		ewmaSec: 30,
 		studies: map[string]*studyEntry{},
 	}
+	if cfg.StageDir != "" {
+		eng, err := stage.New(cfg.StageDir)
+		if err != nil {
+			return nil, err
+		}
+		s.engine = eng
+	}
 	s.registerMetrics()
 	store.OnQuarantine = func(path string, reason error) {
 		s.metrics.Add("tmi3d_store_quarantined_total", "", 1)
 		s.logger.Warn("store entry quarantined", "path", path, "reason", reason.Error())
+	}
+	if s.engine != nil {
+		s.engine.Store().OnQuarantine = func(path string, reason error) {
+			s.metrics.Add("tmi3d_store_quarantined_total", "", 1)
+			s.logger.Warn("stage artifact quarantined", "path", path, "reason", reason.Error())
+		}
+		// The callback runs off the engine's lock; castore is lock-free — no
+		// ordering against Metrics.mu (see the submit comment below).
+		s.engine.OnEvent(func(stageName, ev string) {
+			label := fmt.Sprintf(`stage=%q`, stageName)
+			switch ev {
+			case stage.EventMemHit:
+				s.metrics.Add("tmi3d_stage_hits_total", label+`,tier="mem"`, 1)
+			case stage.EventDiskHit:
+				s.metrics.Add("tmi3d_stage_hits_total", label+`,tier="disk"`, 1)
+			case stage.EventMiss:
+				s.metrics.Add("tmi3d_stage_misses_total", label, 1)
+			case stage.EventExecute:
+				s.metrics.Add("tmi3d_stage_executions_total", label, 1)
+			}
+		})
 	}
 	s.httpSrv = &http.Server{Handler: s.Handler()}
 	for i := 0; i < cfg.Workers; i++ {
@@ -166,6 +203,15 @@ func (s *Server) registerMetrics() {
 	})
 	m.Histogram("tmi3d_request_seconds", "Request latency by endpoint.",
 		[]float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120, 300})
+	if s.engine != nil {
+		m.Counter("tmi3d_stage_hits_total", "Staged-flow artifact cache hits by stage and tier (mem or disk).")
+		m.Counter("tmi3d_stage_misses_total", "Staged-flow artifact cache misses by stage (a stage execution followed).")
+		m.Counter("tmi3d_stage_executions_total", "Staged-flow stage-body executions by stage.")
+		m.Gauge("tmi3d_stage_store_entries", "Live entries in the staged-flow artifact store.", func() float64 {
+			n, _ := s.engine.StoreLen()
+			return float64(n)
+		})
+	}
 }
 
 // Handler returns the daemon's HTTP handler (also usable under a test
@@ -485,29 +531,49 @@ func (s *Server) requestConfig(r *http.Request) (flow.Config, error) {
 	return ParseConfig(r.URL.Query())
 }
 
-func (s *Server) runner() func(flow.Config) (*flow.Result, error) {
-	if s.runFlow != nil {
-		return s.runFlow
-	}
-	// Split the cores between the job pool and each flow's intra-flow
-	// worker fleet so pool × intra never oversubscribes the machine. The
-	// budget is byte-identity-neutral (flow keeps Workers out of the cache
-	// key), so it never reaches the client-visible result.
+// intraWorkers splits the cores between the job pool and each flow's
+// intra-flow worker fleet so pool × intra never oversubscribes the machine.
+// The budget is byte-identity-neutral (flow keeps Workers out of the cache
+// key), so it never reaches the client-visible result.
+func (s *Server) intraWorkers() int {
 	intra := runtime.GOMAXPROCS(0) / s.cfg.Workers
 	if intra < 1 {
 		intra = 1
 	}
+	return intra
+}
+
+func (s *Server) runner() func(flow.Config) (*flow.Result, error) {
+	if s.runFlow != nil {
+		return s.runFlow
+	}
+	intra := s.intraWorkers()
 	return func(cfg flow.Config) (*flow.Result, error) {
 		cfg.Workers = intra
 		return flow.Run(cfg)
 	}
 }
 
-// ppaJob builds the compute closure for one configuration: run the flow,
-// fold its stage profile into the metrics, encode canonically.
-func (s *Server) ppaJob(cfg flow.Config) func() ([]byte, error) {
+// ppaJob builds the compute closure for one configuration: run the flow
+// (through the stage engine when one is configured), fold its stage profile
+// into the metrics, encode canonically. stageHits, when non-nil, receives the
+// staged run's cache summary — only the request whose closure actually
+// executes sees it populated, which is exactly the request answering with
+// X-Cache: run.
+func (s *Server) ppaJob(cfg flow.Config, stageHits *string) func() ([]byte, error) {
 	return func() ([]byte, error) {
-		r, err := s.runner()(cfg)
+		var r *flow.Result
+		var err error
+		if s.runFlow == nil && s.engine != nil {
+			cfg.Workers = s.intraWorkers()
+			var stats stage.RunStats
+			r, stats, err = s.engine.RunStats(cfg)
+			if err == nil && stageHits != nil {
+				*stageHits = stats.Summary()
+			}
+		} else {
+			r, err = s.runner()(cfg)
+		}
 		if err != nil {
 			s.metrics.Add("tmi3d_flow_errors_total", "", 1)
 			return nil, err
@@ -532,12 +598,18 @@ func (s *Server) handlePPA(w http.ResponseWriter, r *http.Request) {
 			Error: fmt.Sprintf("scale %g exceeds server limit %g", cfg.Scale, s.cfg.MaxScale)})
 		return
 	}
-	data, source, err := s.getOrCompute(r.Context(), "v1|ppa|"+cfg.Key(), s.ppaJob(cfg))
+	var stageHits string
+	data, source, err := s.getOrCompute(r.Context(), "v1|ppa|"+cfg.Key(), s.ppaJob(cfg, &stageHits))
 	if err != nil {
 		s.writeComputeError(w, err)
 		return
 	}
 	w.Header().Set("X-Cache", source)
+	if stageHits != "" {
+		// Populated only when this request's own closure ran the staged flow
+		// (close(j.done) orders the write before this read).
+		w.Header().Set("X-Stage-Hits", stageHits)
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.Write(data)
 }
@@ -591,9 +663,9 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		d2.data, d2.src, d2.err = s.getOrCompute(r.Context(), "v1|ppa|"+cfg2.Key(), s.ppaJob(cfg2))
+		d2.data, d2.src, d2.err = s.getOrCompute(r.Context(), "v1|ppa|"+cfg2.Key(), s.ppaJob(cfg2, nil))
 	}()
-	d3.data, d3.src, d3.err = s.getOrCompute(r.Context(), "v1|ppa|"+cfg3.Key(), s.ppaJob(cfg3))
+	d3.data, d3.src, d3.err = s.getOrCompute(r.Context(), "v1|ppa|"+cfg3.Key(), s.ppaJob(cfg3, nil))
 	wg.Wait()
 	for _, sd := range []side{d2, d3} {
 		if sd.err != nil {

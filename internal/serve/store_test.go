@@ -139,7 +139,7 @@ func TestStoreQuarantine(t *testing.T) {
 			if err := s.Put(key, payload); err != nil {
 				t.Fatal(err)
 			}
-			_, entryPath := s.path(key)
+			entryPath := s.EntryPath(key)
 			if err := tc.corrupt(entryPath); err != nil {
 				t.Fatal(err)
 			}
@@ -186,8 +186,9 @@ func TestStoreKeyMismatch(t *testing.T) {
 	if err := s.Put("key-a", []byte("payload-a")); err != nil {
 		t.Fatal(err)
 	}
-	_, pa := s.path("key-a")
-	shardB, pb := s.path("key-b")
+	pa := s.EntryPath("key-a")
+	pb := s.EntryPath("key-b")
+	shardB := filepath.Dir(pb)
 	if err := os.MkdirAll(shardB, 0o755); err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,129 @@
+package stage
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"tmi3d/internal/cts"
+	"tmi3d/internal/equiv"
+	"tmi3d/internal/lint"
+	"tmi3d/internal/netlist"
+	"tmi3d/internal/opt"
+	"tmi3d/internal/place"
+	"tmi3d/internal/power"
+	"tmi3d/internal/route"
+	"tmi3d/internal/sta"
+	"tmi3d/internal/wlm"
+)
+
+// Artifact envelopes: the wire form of each cached node's output. Every
+// envelope encodes canonically (encoding/json with sorted map keys, HTML
+// escaping off) and decodes to an exact inverse — artifact IDs address these
+// bytes, and the byte-identity tests re-encode decoded envelopes to prove it.
+//
+// The report node has no envelope: its artifact is the raw flow.EncodeResult
+// payload, byte-for-byte what the serving layer stores and serves.
+
+// wlmArtifact is the wire-load-model node's output: the model plus the
+// resolved target utilization (placement consumes both).
+type wlmArtifact struct {
+	Model *wlm.Model `json:"model"`
+	Util  float64    `json:"util"`
+}
+
+// synthArtifact is the mapped netlist with its synthesis statistics and the
+// post-synth gate reports.
+type synthArtifact struct {
+	Design *netlist.Design `json:"design"`
+	Stats  netlist.Stats   `json:"stats"`
+	Lint   []*lint.Report  `json:"lint,omitempty"`
+	Equiv  []*equiv.Report `json:"equiv,omitempty"`
+}
+
+// placeArtifact is the placement geometry; the design it places is the synth
+// artifact, rebound on consumption.
+type placeArtifact struct {
+	Snap place.Snapshot `json:"snapshot"`
+}
+
+// optArtifact is the pre-route-closed implementation: the optimized netlist,
+// its placement (optimization moves cells and adds buffers), the pre-route
+// optimization statistics, and the post-place gate reports.
+type optArtifact struct {
+	Design   *netlist.Design `json:"design"`
+	Snap     place.Snapshot  `json:"snapshot"`
+	PreStats *opt.Stats      `json:"pre_stats"`
+	Lint     []*lint.Report  `json:"lint,omitempty"`
+	Equiv    []*equiv.Report `json:"equiv,omitempty"`
+}
+
+// routeArtifact is the first global route of the pre-route-closed placement;
+// sign-off extracts its parasitics for post-route optimization.
+type routeArtifact struct {
+	Route *route.Result `json:"route"`
+}
+
+// signoffArtifact is the converged final implementation: the post-route
+// optimized netlist and placement, the final route and sign-off timing, the
+// accumulated optimization statistics (pre-route + post-route + ECO), and the
+// post-route gate reports.
+type signoffArtifact struct {
+	Design *netlist.Design `json:"design"`
+	Snap   place.Snapshot  `json:"snapshot"`
+	Route  *route.Result   `json:"route"`
+	Timing *sta.Result     `json:"timing"`
+	Stats  *opt.Stats      `json:"stats"`
+	Lint   []*lint.Report  `json:"lint,omitempty"`
+	Equiv  []*equiv.Report `json:"equiv,omitempty"`
+}
+
+// powerArtifact is the sign-off power report plus the clock tree it charged.
+type powerArtifact struct {
+	Power *power.Report `json:"power"`
+	Clock *cts.Result   `json:"clock_tree"`
+}
+
+// encodeArtifact renders the canonical bytes of an envelope.
+func encodeArtifact(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(v); err != nil {
+		return nil, fmt.Errorf("stage: encode artifact: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// decodeNode parses a node's artifact bytes into its envelope. The engine
+// routes every artifact — freshly computed or loaded from a cache tier —
+// through this decoder, so consumers always see the decoded form and cold and
+// warm executions are identical by construction.
+func decodeNode(name string, data []byte) (any, error) {
+	var v any
+	switch name {
+	case "wlm":
+		v = &wlmArtifact{}
+	case "synth":
+		v = &synthArtifact{}
+	case "place":
+		v = &placeArtifact{}
+	case "opt":
+		v = &optArtifact{}
+	case "route":
+		v = &routeArtifact{}
+	case "signoff":
+		v = &signoffArtifact{}
+	case "power":
+		v = &powerArtifact{}
+	case "report":
+		// The report artifact is the flow result's wire payload itself.
+		return data, nil
+	default:
+		return nil, fmt.Errorf("stage: no artifact codec for node %q", name)
+	}
+	if err := json.Unmarshal(data, v); err != nil {
+		return nil, fmt.Errorf("stage: decode %s artifact: %w", name, err)
+	}
+	return v, nil
+}

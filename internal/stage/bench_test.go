@@ -1,0 +1,116 @@
+package stage
+
+import (
+	"testing"
+
+	"tmi3d/internal/circuits"
+	"tmi3d/internal/flow"
+	"tmi3d/internal/tech"
+)
+
+// BenchmarkStagedSweep measures the staged engine's reuse on the workload it
+// exists for: a clock sweep of one circuit (the Fig 4 iso-performance axis).
+// Wall time on a loaded single-core runner is noisy, so the headline metric is
+// deterministic work avoided — stage-body executions per sweep point, reported
+// as stage-execs/point (all stages) and upstream-execs/point (the wlm → synth
+// → place cone a sweep should run once, not per point).
+//
+//   - monolithic: flow.Run per point; every stage executes every point.
+//   - staged-cold: a fresh engine and store; the first point pays full price,
+//     later points reuse the upstream cone from memory.
+//   - staged-warm: the store already holds this sweep's artifacts (a re-run
+//     sweep); nothing executes.
+//
+// BENCH_stage.json holds the committed baseline (make bench-stage).
+func BenchmarkStagedSweep(b *testing.B) {
+	base, err := circuits.TargetClockPs("FPU", tech.N45)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfgs := make([]flow.Config, 0, 3)
+	for _, clk := range []float64{0, base * 1.15, base * 1.4} {
+		cfg := testConfig()
+		cfg.ClockPs = clk
+		cfgs = append(cfgs, cfg)
+	}
+	points := float64(len(cfgs))
+
+	upstream := func(c map[string]Counters) uint64 {
+		return c["wlm"].Executions + c["synth"].Executions + c["place"].Executions
+	}
+	total := func(c map[string]Counters) uint64 {
+		var n uint64
+		for _, ct := range c {
+			n += ct.Executions
+		}
+		return n
+	}
+
+	b.Run("monolithic", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, cfg := range cfgs {
+				if _, err := flow.Run(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		// Each point runs every one of the 12 stages by construction.
+		b.ReportMetric(float64(len(Nodes)), "stage-execs/point")
+		b.ReportMetric(3, "upstream-execs/point")
+	})
+
+	b.Run("staged-cold", func(b *testing.B) {
+		var totalExecs, upstreamExecs uint64
+		for i := 0; i < b.N; i++ {
+			e, err := New(b.TempDir())
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, cfg := range cfgs {
+				if _, err := e.Run(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+			c := e.Counters()
+			totalExecs += total(c)
+			upstreamExecs += upstream(c)
+		}
+		n := points * float64(b.N)
+		b.ReportMetric(float64(totalExecs)/n, "stage-execs/point")
+		b.ReportMetric(float64(upstreamExecs)/n, "upstream-execs/point")
+	})
+
+	b.Run("staged-warm", func(b *testing.B) {
+		dir := b.TempDir()
+		prime, err := New(dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, cfg := range cfgs {
+			if _, err := prime.Run(cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ResetTimer()
+		var totalExecs, upstreamExecs uint64
+		for i := 0; i < b.N; i++ {
+			// A fresh engine over the primed store: the re-run sweep of a new
+			// process, every artifact served from disk.
+			e, err := New(dir)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, cfg := range cfgs {
+				if _, err := e.Run(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+			c := e.Counters()
+			totalExecs += total(c)
+			upstreamExecs += upstream(c)
+		}
+		n := points * float64(b.N)
+		b.ReportMetric(float64(totalExecs)/n, "stage-execs/point")
+		b.ReportMetric(float64(upstreamExecs)/n, "upstream-execs/point")
+	})
+}

@@ -1,0 +1,106 @@
+package stage
+
+import (
+	"strings"
+	"testing"
+
+	"tmi3d/internal/flow"
+	"tmi3d/internal/tech"
+	"tmi3d/internal/vet"
+)
+
+// The DAG and the StageKeys manifest must name exactly the same stages, in
+// dependency-consistent order, with every key field renderable by
+// FieldKeyTerm — the static contract artifact IDs are built from.
+func TestDAGMatchesStageKeys(t *testing.T) {
+	seen := map[string]bool{}
+	for i := range Nodes {
+		n := &Nodes[i]
+		if seen[n.Name] {
+			t.Errorf("node %q declared twice", n.Name)
+		}
+		for _, dep := range n.Deps {
+			if !seen[dep] {
+				t.Errorf("node %q depends on %q, which is not declared before it (topological order)", n.Name, dep)
+			}
+		}
+		seen[n.Name] = true
+		if _, ok := flow.StageKeys[n.Name]; !ok {
+			t.Errorf("node %q has no StageKeys entry", n.Name)
+		}
+	}
+	for stage := range flow.StageKeys {
+		if !seen[stage] {
+			t.Errorf("StageKeys stage %q has no DAG node", stage)
+		}
+	}
+
+	// FieldKeyTerm is total over the manifest's key domain (Workers excepted:
+	// it is filtered from every key — worker count never changes result
+	// bytes), and sensitive to the fields the clock sweep relies on.
+	cfg := flow.Config{
+		Circuit: "AES", Scale: 0.5, Node: tech.N45, Mode: tech.ModeTMI,
+		ClockPs: 850, Util: 0.6, PinCapScale: 0.9,
+		ResistivityScale: map[tech.LayerClass]float64{tech.ClassLocal: 1.5},
+	}
+	for stage, fields := range flow.StageKeys {
+		for _, f := range fields {
+			if f == "Workers" {
+				continue
+			}
+			if got := cfg.FieldKeyTerm(f); got == "" && f != "Circuit" {
+				t.Errorf("FieldKeyTerm(%q) (stage %q) is empty", f, stage)
+			}
+		}
+	}
+	base := KeyString(cfg, "opt")
+	swept := cfg
+	swept.ClockPs = 1000
+	if KeyString(swept, "opt") == base {
+		t.Error("opt key is insensitive to ClockPs: sweep points would collide")
+	}
+	if KeyString(swept, "synth") != KeyString(cfg, "synth") {
+		t.Error("synth key is sensitive to ClockPs: sweep points would not share synthesis")
+	}
+}
+
+// Every inter-stage artifact edge the stagedeps analyzer measures over the
+// monolithic flow.Run must lie inside the transitive closure of the DAG's
+// declared Deps: an edge outside the closure means the engine would execute a
+// stage without the artifacts the monolith feeds it.
+func TestDAGCoversVetArtifactEdges(t *testing.T) {
+	mod, err := vet.Load("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := vet.AnalyzeOpts(mod, vet.Options{
+		Analyzers: []*vet.Analyzer{vet.StageDeps},
+		PkgFilter: "internal/flow",
+	})
+	for _, d := range res.Diags {
+		t.Errorf("stagedeps: %s", d)
+	}
+	edges := 0
+	for _, sr := range res.Stages {
+		if !strings.HasSuffix(sr.Package, "internal/flow") || sr.Func != "Run" {
+			continue
+		}
+		if nodeByName[sr.Stage] == nil {
+			t.Errorf("anchored stage %q has no DAG node", sr.Stage)
+			continue
+		}
+		for artifact, src := range sr.ArtifactSources {
+			edges++
+			if src == sr.Stage {
+				continue
+			}
+			if !Reaches(sr.Stage, src) {
+				t.Errorf("stage %q consumes artifact %q defined in stage %q, but the DAG declares no path %s → %s",
+					sr.Stage, artifact, src, sr.Stage, src)
+			}
+		}
+	}
+	if edges == 0 {
+		t.Fatal("stagedeps exported no artifact edges for flow.Run — the analyzer or the anchors regressed")
+	}
+}

@@ -69,6 +69,11 @@ type StageReads struct {
 	ConfigFields []string `json:"config_fields"`
 	Globals      []string `json:"globals,omitempty"`
 	Artifacts    []string `json:"artifacts,omitempty"`
+	// ArtifactSources maps each consumed artifact to the stage that defines
+	// it — the computed inter-stage dependency edges. The staged engine's
+	// declarative DAG (internal/stage) is tested against these: every edge
+	// here must lie inside the transitive closure of the DAG's Deps.
+	ArtifactSources map[string]string `json:"artifact_sources,omitempty"`
 }
 
 const stageDirective = "tmi3dvet:stage"
@@ -294,7 +299,7 @@ type stageAccum struct {
 	anchorPos token.Pos
 	fields    map[string]token.Pos // Config field -> first read position
 	globals   map[types.Object]token.Pos
-	artifacts map[string]bool
+	artifacts map[string]string // consumed local -> defining stage
 }
 
 func checkStagedFunc(p *Pass, fd *ast.FuncDecl, anchors []*stageAnchor, cfgType *types.Named, manifest *stageManifest, sums *effects, gs *globalState, sup *suppressions) {
@@ -376,7 +381,7 @@ func checkStagedFunc(p *Pass, fd *ast.FuncDecl, anchors []*stageAnchor, cfgType 
 				anchorPos: r.anchor.pos,
 				fields:    map[string]token.Pos{},
 				globals:   map[types.Object]token.Pos{},
-				artifacts: map[string]bool{},
+				artifacts: map[string]string{},
 			}
 			accums[r.anchor.name] = acc
 			order = append(order, r.anchor.name)
@@ -388,13 +393,18 @@ func checkStagedFunc(p *Pass, fd *ast.FuncDecl, anchors []*stageAnchor, cfgType 
 	for _, name := range order {
 		acc := accums[name]
 		reportStage(p, manifest, fieldSet, acc, gs, sup)
+		sources := make(map[string]string, len(acc.artifacts))
+		for a, src := range acc.artifacts {
+			sources[a] = src
+		}
 		p.ExportStage(StageReads{
-			Package:      p.Pkg.Path,
-			Func:         fd.Name.Name,
-			Stage:        name,
-			ConfigFields: sortedKeys(acc.fields),
-			Globals:      sortedGlobalNames(acc.globals),
-			Artifacts:    sortedBoolKeys(acc.artifacts),
+			Package:         p.Pkg.Path,
+			Func:            fd.Name.Name,
+			Stage:           name,
+			ConfigFields:    sortedKeys(acc.fields),
+			Globals:         sortedGlobalNames(acc.globals),
+			Artifacts:       sortedStringMapKeys(acc.artifacts),
+			ArtifactSources: sources,
 		})
 	}
 }
@@ -559,9 +569,15 @@ func scanStageRegion(p *Pass, sums *effects, cfgType *types.Named, fd *ast.FuncD
 				case v.Pos() > fd.Body.Lbrace && v.Pos() < fd.Body.Rbrace && (v.Pos() < lo || v.Pos() >= hi):
 					// Defined in the staged function but outside this region:
 					// an artifact of another stage (unless that stage shares
-					// our name — route's two regions are one stage).
+					// our name — a stage split across regions is one stage).
+					// Error-typed locals are control flow, not artifacts: the
+					// shared err variable would otherwise fabricate an edge
+					// from every stage to the first one that declares it.
+					if types.Identical(v.Type(), types.Universe.Lookup("error").Type()) {
+						return true
+					}
 					if defStage, ok := regionName(v.Pos()); ok && defStage != acc.name {
-						acc.artifacts[v.Name()] = true
+						acc.artifacts[v.Name()] = defStage
 					}
 				}
 			}
@@ -581,6 +597,15 @@ func fieldOfConfig(cfgType *types.Named, f *types.Var) bool {
 }
 
 func sortedKeys(m map[string]token.Pos) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedStringMapKeys(m map[string]string) []string {
 	out := make([]string, 0, len(m))
 	for k := range m {
 		out = append(out, k)

@@ -88,8 +88,10 @@ func Deterministic(importPath string) bool {
 // for globalmut: flow owns the cross-config process caches (genCache, the
 // library-check once) whose mutation-after-publication is exactly the bug
 // class globalmut targets, even though flow's wall-clock StageTimes keep it
-// out of the seedpurity/maporder set.
-var globalStatePkgs = append([]string{"internal/flow"}, deterministicPkgs...)
+// out of the seedpurity/maporder set. The staged engine rides along for the
+// same reason — its artifact caches publish decoded artifacts across runs —
+// while its stage profiling (time.Now) keeps it out of the seedpurity set.
+var globalStatePkgs = append([]string{"internal/flow", "internal/stage"}, deterministicPkgs...)
 
 // GlobalStateScoped reports whether globalmut audits the package's
 // package-level state.

@@ -85,6 +85,30 @@ for procs in 2 8; do
         ./internal/opt ./internal/flow
 done
 
+stage staged-identity
+# The staged flow engine's contract: byte-identical to the monolithic flow at
+# any cache state. Run a 3-point clock sweep monolithically, then staged with
+# a cold artifact store, then staged again fully warm (the second pass
+# executes no stage bodies at all), and diff report + Verilog + DEF per point.
+go build -o "$pdir/tmi3d" ./cmd/tmi3d
+for clk in 0 2000 2400; do
+    "$pdir/tmi3d" -circuit FPU -scale 0.1 -mode tmi -clock "$clk" -byfunc \
+        -dump "$pdir/mono$clk" >"$pdir/mono$clk.txt" 2>/dev/null
+done
+for pass in cold warm; do
+    for clk in 0 2000 2400; do
+        "$pdir/tmi3d" -circuit FPU -scale 0.1 -mode tmi -clock "$clk" -byfunc \
+            -stagecache "$pdir/stagecache" \
+            -dump "$pdir/$pass$clk" >"$pdir/$pass$clk.txt" 2>/dev/null
+        for f in txt v def; do
+            if ! diff -u "$pdir/mono$clk.$f" "$pdir/$pass$clk.$f"; then
+                echo "staged ($pass, clock $clk) .$f output differs from monolithic" >&2
+                exit 1
+            fi
+        done
+    done
+done
+
 stage equiv-smoke
 # Formal sign-off must prove the smallest benchmark's mapped netlist and pass
 # the switch-level library check — and must catch an injected logic defect.
@@ -96,11 +120,15 @@ fi
 
 stage serve-smoke
 # The serving layer's contract: a daemon answer is byte-identical to a direct
-# flow.Run. Boot on an ephemeral port, probe /healthz, fetch one flow result
-# twice (cold then cached), and diff against the direct encoding via loadgen.
+# flow.Run. Boot on an ephemeral port (with the staged engine, so the
+# byte-identity check also covers staged serving), probe /healthz, fetch one
+# flow result twice (cold then cached), and diff against the direct encoding
+# via loadgen. Then a sequential clock sweep must show — via the stage
+# metrics — that synthesis and placement executed exactly once.
 go build -o "$pdir/tmi3d" ./cmd/tmi3d
 go build -o "$pdir/loadgen" ./cmd/loadgen
 "$pdir/tmi3d" serve -addr 127.0.0.1:0 -store "$pdir/store" \
+    -stagecache "$pdir/stagecache-serve" \
     -addrfile "$pdir/addr" 2>"$pdir/serve.log" &
 serve_pid=$!
 for _ in $(seq 1 100); do [ -s "$pdir/addr" ] && break; sleep 0.1; done
@@ -115,6 +143,7 @@ if command -v curl >/dev/null; then
 fi
 "$pdir/loadgen" -addr "$addr" -workers 8 -n 16 -circuit FPU -scale 0.1 \
     -verify -check
+"$pdir/loadgen" -addr "$addr" -sweep 3 -circuit FPU -mode 2d -scale 0.1
 kill "$serve_pid"
 wait "$serve_pid" 2>/dev/null || true
 serve_pid=""
