@@ -18,9 +18,10 @@ fmt:
 lint:
 	@go run ./cmd/tmi3d lint -all
 
-# The repo's own static analyzers (globalmut, godisc, keycoverage,
-# lockorder, maporder, parsafe, seedpurity, stagedeps) over every package
-# with per-analyzer diagnostic counts (see internal/vet and cmd/tmi3dvet).
+# The repo's own static analyzers (ctxdisc, globalmut, godisc, keycoverage,
+# lockorder, maporder, parsafe, seedpurity, stagedeps, wiresafe) over every
+# package with per-analyzer diagnostic counts (see internal/vet and
+# cmd/tmi3dvet).
 vet-custom:
 	go run ./cmd/tmi3dvet -counts ./...
 

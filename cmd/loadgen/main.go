@@ -311,15 +311,25 @@ func verifyDirect(responses map[string][]byte, cfgs []flow.Config) int {
 func probe(client *http.Client, addr string) int {
 	failures := 0
 	resp, err := client.Get("http://" + addr + "/healthz")
-	if err != nil || resp.StatusCode != 200 {
+	if err != nil {
 		log.Printf("healthz probe failed: %v", err)
+		return failures + 1
+	}
+	if resp.StatusCode != 200 {
+		resp.Body.Close()
+		log.Printf("healthz probe failed: status %d", resp.StatusCode)
 		return failures + 1
 	}
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
 	resp, err = client.Get("http://" + addr + "/metrics")
-	if err != nil || resp.StatusCode != 200 {
+	if err != nil {
 		log.Printf("metrics probe failed: %v", err)
+		return failures + 1
+	}
+	if resp.StatusCode != 200 {
+		resp.Body.Close()
+		log.Printf("metrics probe failed: status %d", resp.StatusCode)
 		return failures + 1
 	}
 	body, _ := io.ReadAll(resp.Body)

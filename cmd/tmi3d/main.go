@@ -8,6 +8,7 @@
 //	tmi3d -circuit LDPC -compare           # run 2D and T-MI, print the diff
 //	tmi3d -stagecache ./cache -clock 900   # staged run: reuse unchanged stages
 //	tmi3d stages -stagecache ./cache       # show the per-stage cache plan
+//	tmi3d wireid -circuit FPU -scale 0.1   # replay every artifact codec, diff bytes
 //	tmi3d lint -circuit AES -node 45       # design-integrity lint report
 //	tmi3d equiv -circuit AES -node 45      # formal equivalence sign-off report
 package main
@@ -45,6 +46,11 @@ func main() {
 	if len(os.Args) > 1 && os.Args[1] == "stages" {
 		log.SetFlags(0)
 		stagesMain(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "wireid" {
+		log.SetFlags(0)
+		wireidMain(os.Args[2:])
 		return
 	}
 	circuit := flag.String("circuit", "AES", "benchmark: FPU, AES, LDPC, DES, M256")

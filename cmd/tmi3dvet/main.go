@@ -1,8 +1,8 @@
 // Command tmi3dvet is the repository's determinism and concurrency
 // multichecker: it loads and type-checks every package in the module and runs
-// the internal/vet analyzer suite (globalmut, godisc, keycoverage, lockorder,
-// maporder, parsafe, seedpurity, stagedeps). A non-empty report exits 1,
-// which is what scripts/check.sh gates CI on.
+// the internal/vet analyzer suite (ctxdisc, globalmut, godisc, keycoverage,
+// lockorder, maporder, parsafe, seedpurity, stagedeps, wiresafe). A non-empty
+// report exits 1, which is what scripts/check.sh gates CI on.
 //
 // Usage:
 //
@@ -19,8 +19,9 @@
 // the anchored pipeline — the measured dependency surface the incremental
 // flow cache consumes — and the per-loop effect sets parsafe computed from
 // the //tmi3dvet:parloop anchors, the parallelism green board of ROADMAP
-// item 3. The exit status is unchanged: 1 on any diagnostic, 0 on a clean
-// module.
+// item 3, and the per-type wire facts wiresafe proved over the flow.WireTypes
+// manifest (codec kind, round-tripping fields, audited off-wire fields). The
+// exit status is unchanged: 1 on any diagnostic, 0 on a clean module.
 //
 // -pkg and -anchor narrow a run for fast iteration on one package or loop.
 // Module-wide reconciliation (the ParLoops manifest diff) is skipped under
@@ -38,6 +39,10 @@
 //	//tmi3dvet:parhazard <reason> on a hazard line, or above the for statement
 //	                              to cover the whole loop (parsafe)
 //	//tmi3dvet:godisc <reason>    on or above a goroutine-discipline finding
+//	//tmi3dvet:nonwire <reason>   on a wire-type field audited off the wire (wiresafe)
+//	//tmi3dvet:finite <reason>    on a raw float field of a non-finite type's
+//	                              wire struct that provably stays finite (wiresafe)
+//	//tmi3dvet:ctxdisc <reason>   on or above a cancellation/resource finding
 //
 // The reason string is mandatory and stale suppressions are diagnostics.
 package main
@@ -139,16 +144,21 @@ func emitJSON(res *vet.Result) {
 		Diagnostics []jsonDiag       `json:"diagnostics"`
 		Stages      []vet.StageReads `json:"stages"`
 		ParLoops    []vet.ParLoop    `json:"parloops"`
+		WireTypes   []vet.WireFact   `json:"wiretypes"`
 	}{
 		Diagnostics: []jsonDiag{},
 		Stages:      res.Stages,
 		ParLoops:    res.ParLoops,
+		WireTypes:   res.WireTypes,
 	}
 	if out.Stages == nil {
 		out.Stages = []vet.StageReads{}
 	}
 	if out.ParLoops == nil {
 		out.ParLoops = []vet.ParLoop{}
+	}
+	if out.WireTypes == nil {
+		out.WireTypes = []vet.WireFact{}
 	}
 	for _, d := range res.Diags {
 		out.Diagnostics = append(out.Diagnostics, jsonDiag{

@@ -111,6 +111,7 @@ type Config struct {
 	// byte-identical at any worker count — that determinism contract is what
 	// keeps Workers out of the wire format and the cache key.
 	//tmi3dvet:nonkey worker count never changes result bytes (ParLoops determinism contract); keying on it would split identical artifacts
+	//tmi3dvet:nonwire execution knob, not a result input: a remote node re-resolves its own worker budget, and the determinism contract makes any budget byte-equivalent
 	Workers int `json:"-"`
 }
 
@@ -153,13 +154,16 @@ type Result struct {
 
 	// Design and Placement expose the final implementation for artifact
 	// export (Verilog, DEF, snapshots) and further analysis.
-	Design    *netlist.Design  `json:"-"`
+	//tmi3dvet:nonwire gigabyte-class at scale 1; exported via Verilog/DEF artifacts, and the staged engine reattaches it from the signoff artifact
+	Design *netlist.Design `json:"-"`
+	//tmi3dvet:nonwire rides with Design: reattached from the signoff artifact, exported as DEF
 	Placement *place.Placement `json:"-"`
 
 	// StageTimes is the wall-clock cost of each flow stage in pipeline
 	// order — the profile that shows where a parallel experiment run still
 	// serializes. Timing is observational only: it never feeds back into
 	// the flow, so results stay deterministic.
+	//tmi3dvet:nonwire wall-clock observation: putting it on the wire would break byte identity between a cached response and a fresh run
 	StageTimes []StageTime `json:"-"`
 
 	// LintReports holds the per-stage design-integrity reports (empty when

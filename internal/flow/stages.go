@@ -320,7 +320,7 @@ func AssembleResult(cfg Config, lib *liberty.Library, in ReportInputs) *Result {
 		TotalWL:    rt.TotalLen,
 		WLByClass:  rt.LenByClass,
 		Overflow:   rt.Overflow,
-		WNS:        in.Timing.WNS,
+		WNS:        sta.Finite(in.Timing.WNS),
 		ClockPs:    in.ClockPs,
 		Power:      in.Power,
 		OptStats:   in.OptStats,

@@ -1,0 +1,72 @@
+package liberty
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"tmi3d/internal/tech"
+)
+
+// FuzzLibraryRoundTrip encodes single-cell libraries with arbitrary
+// characterization values and requires DecodeJSON∘EncodeJSON to be
+// byte-identical and to rebuild the strength index the wire format omits —
+// the embedded-library regeneration contract of cmd/charlib.
+func FuzzLibraryRoundTrip(f *testing.F) {
+	f.Add(1.1, 0.53, 2.1e-4, 12.0, 3.5, 1)
+	f.Add(0.0, 0.0, 0.0, 0.0, 0.0, 0)
+	f.Add(1e300, 1e-300, 5e5, 1.0, -4.0, 32)
+	f.Fuzz(func(t *testing.T, vdd, area, leak, slew, v00 float64, strength int) {
+		for _, x := range []float64{vdd, area, leak, slew, v00} {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				t.Skip("characterized values are finite: the spice integrator never emits non-finite numbers")
+			}
+		}
+		lut := &LUT{
+			Slews: []float64{slew, slew + 1},
+			Loads: []float64{1, 2},
+			V:     [][]float64{{v00, v00 + 1}, {v00 + 2, v00 + 3}},
+		}
+		c := &Cell{
+			Name:     "INV_X1",
+			Base:     "INV",
+			Strength: strength,
+			Area:     area,
+			Width:    area / 2,
+			Inputs:   []string{"A"},
+			Outputs:  []string{"Z"},
+			PinCap:   map[string]float64{"A": leak + 1},
+			Arcs:     []TimingArc{{From: "A", To: "Z", Delay: lut, OutSlew: lut, Energy: lut}},
+			Leakage:  leak,
+		}
+		lib := &Library{
+			Node:  tech.N45,
+			Mode:  tech.Mode2D,
+			VDD:   vdd,
+			Cells: map[string]*Cell{c.Name: c},
+		}
+		b1, err := lib.EncodeJSON()
+		if err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		back, err := DecodeJSON(b1)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		b2, err := back.EncodeJSON()
+		if err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		if !bytes.Equal(b1, b2) {
+			t.Fatalf("round trip not byte-identical:\n first %s\nsecond %s", b1, b2)
+		}
+		// DecodeJSON must rebuild the byBase index EncodeJSON leaves off the
+		// wire, and re-bind the cellgen definition.
+		if vs := back.Variants("INV"); len(vs) != 1 || vs[0].Name != "INV_X1" {
+			t.Fatalf("decoded Variants(INV) = %v, want the one encoded cell", vs)
+		}
+		if back.Cells["INV_X1"].Def == nil {
+			t.Fatal("decoded cell lost its cellgen definition binding")
+		}
+	})
+}

@@ -175,8 +175,10 @@ type Library struct {
 	Mode tech.Mode
 	VDD  float64
 
-	Cells  map[string]*Cell
-	byBase map[string][]*Cell // ascending strength
+	Cells map[string]*Cell
+	// byBase indexes Cells by base function, ascending strength.
+	//tmi3dvet:nonwire derived index: DecodeJSON rebuilds it from Cells via index(), so wiring it would only invite drift
+	byBase map[string][]*Cell
 }
 
 // Cell returns the named cell, or nil.

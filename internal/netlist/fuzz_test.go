@@ -1,0 +1,74 @@
+package netlist
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzDesignRoundTrip encodes arbitrary small designs — including the empty
+// design and nets with no sinks, the degenerate shapes a -scale run near zero
+// produces — and requires the decode to re-encode to identical bytes and to
+// rebuild the name index the wire format deliberately omits.
+func FuzzDesignRoundTrip(f *testing.F) {
+	f.Add("", uint8(0), uint8(0), -1, 0.0)
+	f.Add("fpu", uint8(3), uint8(2), 0, 500.0)
+	f.Add("m", uint8(1), uint8(0), -2, 1e12)
+	f.Fuzz(func(t *testing.T, name string, nets, sinks uint8, clockNet int, clock float64) {
+		if math.IsNaN(clock) || math.IsInf(clock, 0) {
+			t.Skip("TargetClockPs comes from the validated config and is finite by construction")
+		}
+		if !utf8.ValidString(name) {
+			// encoding/json escapes invalid UTF-8 as �, whose decoded
+			// form re-encodes as the raw replacement rune — byte identity
+			// needs valid names, and design names are generator identifiers.
+			t.Skip("invalid UTF-8 cannot round-trip through encoding/json")
+		}
+		d := &Design{
+			Name:          name,
+			PIs:           map[string]int{},
+			POs:           map[string]int{},
+			ClockNet:      clockNet,
+			TargetClockPs: clock,
+		}
+		for i := 0; i < int(nets%8); i++ {
+			n := Net{Name: fmt.Sprintf("n%d", i), Driver: PinRef{Inst: -1, Pin: "p"}}
+			for j := 0; j < int(sinks%4); j++ {
+				n.Sinks = append(n.Sinks, PinRef{Inst: -1, Pin: fmt.Sprintf("s%d", j)})
+			}
+			d.Nets = append(d.Nets, n)
+		}
+		if len(d.Nets) > 0 {
+			d.PIs["in"] = 0
+			d.POs["out"] = len(d.Nets) - 1
+		}
+		b1, err := json.Marshal(d)
+		if err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		var back Design
+		if err := json.Unmarshal(b1, &back); err != nil {
+			t.Fatalf("decode %s: %v", b1, err)
+		}
+		b2, err := json.Marshal(&back)
+		if err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		if !bytes.Equal(b1, b2) {
+			t.Fatalf("round trip not byte-identical:\n first %s\nsecond %s", b1, b2)
+		}
+		// The decoder must rebuild netIndex: every net resolves by name, and
+		// an unknown name misses — a decoded design behaves like the original.
+		for i := range back.Nets {
+			if got := back.NetByName(back.Nets[i].Name); got != i {
+				t.Fatalf("decoded NetByName(%q) = %d, want %d", back.Nets[i].Name, got, i)
+			}
+		}
+		if got := back.NetByName("no-such-net"); got != -1 {
+			t.Fatalf("decoded NetByName(miss) = %d, want -1", got)
+		}
+	})
+}

@@ -60,6 +60,7 @@ type Design struct {
 	// TargetClockPs is the synthesis/layout target clock period in ps.
 	TargetClockPs float64
 
+	//tmi3dvet:nonwire derived index: UnmarshalJSON rebuilds it from Nets, so the wire form cannot drift from the source of truth
 	netIndex map[string]int
 }
 

@@ -166,7 +166,7 @@ func Close(d *netlist.Design, opt Options) (*Stats, error) {
 	if err != nil {
 		return nil, err
 	}
-	st.FinalWNS = res.WNS
+	st.FinalWNS = sta.Finite(res.WNS)
 	return st, nil
 }
 

@@ -1,0 +1,59 @@
+package sta
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+// FuzzResultRoundTrip drives the non-finite-safe codec with arbitrary timing
+// values — including the NaN/±Inf sentinels a degenerate or unconstrained
+// design produces — and requires a decoded Result to re-encode to identical
+// bytes: the byte-identity contract the castore and the serving layer build
+// on. It also pins the two halves of the ClockPs contract: the raw field
+// really does reject non-finite values, and Finite always yields a value the
+// plain encoder accepts.
+func FuzzResultRoundTrip(f *testing.F) {
+	f.Add(1.5, -2.0, 3.25, 500.0, 4.0, 5.0, 0)
+	f.Add(math.Inf(1), math.Inf(-1), math.NaN(), 250.0, math.Inf(-1), math.NaN(), -1)
+	f.Add(0.0, math.Copysign(0, -1), 0.0, 0.0, 0.0, 0.0, 7)
+	f.Fuzz(func(t *testing.T, wns, tns, hold, clock, a0, s0 float64, crit int) {
+		if fc := Finite(clock); math.IsNaN(fc) || math.IsInf(fc, 0) {
+			t.Fatalf("Finite(%v) = %v is not finite", clock, fc)
+		}
+		r := &Result{
+			Arrival:     []float64{a0, math.Inf(-1)},
+			Slew:        []float64{s0},
+			Required:    []float64{math.Inf(1), a0},
+			WNS:         wns,
+			TNS:         tns,
+			HoldWNS:     hold,
+			CriticalNet: crit,
+			ClockPs:     clock,
+		}
+		if math.IsNaN(clock) || math.IsInf(clock, 0) {
+			// ClockPs is declared finite (//tmi3dvet:finite): a non-finite
+			// value must fail loudly, not slip onto the wire.
+			if _, err := json.Marshal(r); err == nil {
+				t.Fatal("encoding a non-finite ClockPs succeeded; the field is audited finite")
+			}
+			r.ClockPs = Finite(clock)
+		}
+		b1, err := json.Marshal(r)
+		if err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		var back Result
+		if err := json.Unmarshal(b1, &back); err != nil {
+			t.Fatalf("decode %s: %v", b1, err)
+		}
+		b2, err := json.Marshal(&back)
+		if err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		if !bytes.Equal(b1, b2) {
+			t.Fatalf("round trip not byte-identical:\n first %s\nsecond %s", b1, b2)
+		}
+	})
+}

@@ -13,6 +13,24 @@ import (
 // values travel as the strings "+Inf", "-Inf" and "NaN", finite values as
 // ordinary numbers, and a decoded Result re-encodes to identical bytes.
 
+// Finite clamps a possibly non-finite timing value for transport in a plain
+// JSON field (flow.Result.WNS, opt.Stats.FinalWNS): finite values pass
+// through untouched, so byte identity holds everywhere timing is real;
+// ±Inf — the unconstrained-design sentinel — clamps to ±math.MaxFloat64 and
+// NaN to 0, so a degenerate design still encodes instead of failing
+// json.Marshal outright.
+func Finite(v float64) float64 {
+	switch {
+	case math.IsNaN(v):
+		return 0
+	case math.IsInf(v, 1):
+		return math.MaxFloat64
+	case math.IsInf(v, -1):
+		return -math.MaxFloat64
+	}
+	return v
+}
+
 // nfFloat is a float64 whose JSON form tolerates non-finite values.
 type nfFloat float64
 
@@ -87,7 +105,7 @@ type resultJSON struct {
 	TNS         nfFloat   `json:"tns_ps"`
 	HoldWNS     nfFloat   `json:"hold_wns_ps"`
 	CriticalNet int       `json:"critical_net"`
-	ClockPs     float64   `json:"clock_ps"`
+	ClockPs     float64   `json:"clock_ps"` //tmi3dvet:finite the analysis clock constraint, copied from the validated config — never a propagated timing value, so ±Inf/NaN cannot reach it
 }
 
 // MarshalJSON encodes the result with non-finite-safe floats.

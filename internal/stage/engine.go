@@ -226,9 +226,18 @@ type PlanEntry struct {
 func (e *Engine) Plan(cfg flow.Config) []PlanEntry {
 	cfg = cfg.Normalized()
 	idByName := ids(cfg)
-	out := make([]PlanEntry, 0, len(Nodes))
+	// Snapshot the memory tier's membership under the lock, then probe the
+	// disk tier unlocked: a Stat per node while holding e.mu would stall
+	// every concurrent artifact() behind the filesystem.
+	inMem := make(map[string]bool, len(Nodes))
 	e.mu.Lock()
-	defer e.mu.Unlock()
+	for i := range Nodes {
+		if id := idByName[Nodes[i].Name]; id != "" {
+			_, inMem[id] = e.mem[id]
+		}
+	}
+	e.mu.Unlock()
+	out := make([]PlanEntry, 0, len(Nodes))
 	for i := range Nodes {
 		n := &Nodes[i]
 		pe := PlanEntry{
@@ -240,7 +249,7 @@ func (e *Engine) Plan(cfg flow.Config) []PlanEntry {
 		}
 		if n.Cached {
 			pe.Tier = ""
-			if _, ok := e.mem[pe.ID]; ok {
+			if inMem[pe.ID] {
 				pe.Tier = "mem"
 			} else if e.store != nil {
 				if _, err := os.Stat(e.store.EntryPath(storeKey(n.Name, pe.ID))); err == nil {

@@ -44,6 +44,9 @@ var directiveOwner = map[string]string{
 	"global":    "globalmut",
 	"parhazard": "parsafe",
 	"godisc":    "godisc",
+	"nonwire":   "wiresafe",
+	"finite":    "wiresafe",
+	"ctxdisc":   "ctxdisc",
 }
 
 // cutDirective returns the payload of a //tmi3dvet:<directive> line comment,

@@ -1,0 +1,224 @@
+// Package fixture seeds one violation of every ctxdisc diagnostic class: a
+// goroutine with no cancellation path, a dropped context parameter,
+// time.Sleep in a context-bearing function, time.After inside a loop, an
+// unstopped timer, a response-body leak through an error disjunction, a
+// per-iteration file leak through continue, a listener leaked to the end of
+// its function, blocking I/O under a mutex both directly and through a
+// module-local helper, plus bare and stale ctxdisc suppressions. Clean twins
+// prove each rule's negative space: WaitGroup-bounded and context-threaded
+// goroutines, channel-draining named spawns, stopped tickers, exact err-nil
+// guards with closes on both arms, deferred closes inside closures, handle
+// hand-off via return, and unlock-before-I/O. Expected diagnostics live in
+// expect.txt.
+package fixture
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+)
+
+func work() { _ = time.Now() }
+
+// orphan spawns a goroutine nothing can stop.
+func orphan() {
+	go func() {
+		work()
+	}()
+}
+
+// bounded signals completion through a WaitGroup: clean.
+func bounded() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+// threaded reaches the caller's cancel through the captured context: clean.
+func threaded(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// pool spawns a named same-package worker that drains a channel: clean.
+func pool(queue chan int) {
+	go drain(queue)
+}
+
+func drain(queue chan int) {
+	for range queue {
+	}
+}
+
+// dropped accepts a context and never consults it.
+func dropped(ctx context.Context, n int) int {
+	return n * 2
+}
+
+// sleeper consults its context but sleeps through cancellation anyway.
+func sleeper(ctx context.Context) {
+	_ = ctx.Err()
+	time.Sleep(time.Millisecond)
+}
+
+// audited is the clean suppression: fire-and-forget with a reason.
+func audited() {
+	//tmi3dvet:ctxdisc fixture: best-effort cache warm bounded by process lifetime
+	go func() {
+		work()
+	}()
+}
+
+// bareAudit carries a reasonless directive.
+func bareAudit() {
+	//tmi3dvet:ctxdisc
+	go func() {
+		work()
+	}()
+}
+
+// staleAudit suppresses nothing.
+//
+//tmi3dvet:ctxdisc fixture: stale — there is no finding on the next line
+func staleAudit() {}
+
+// ticker allocates a fresh timer every iteration.
+func ticker(ctx context.Context, events chan int) {
+	for {
+		select {
+		case <-time.After(time.Second):
+			work()
+		case <-events:
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// unstopped leaks its timer's channel forever if the send is missed.
+func unstopped() {
+	t := time.NewTimer(time.Second)
+	<-t.C
+}
+
+// stopped defers Stop: clean.
+func stopped() {
+	t := time.NewTicker(time.Second)
+	defer t.Stop()
+	<-t.C
+}
+
+// leakOnDisjunction returns through the non-error arm of the disjunction
+// without closing the response body.
+func leakOnDisjunction(client *http.Client) error {
+	resp, err := client.Get("http://localhost/healthz")
+	if err != nil || resp.StatusCode != 200 {
+		return err
+	}
+	resp.Body.Close()
+	return nil
+}
+
+// closedBothArms splits the guard and closes on every path: clean.
+func closedBothArms(client *http.Client) error {
+	resp, err := client.Get("http://localhost/metrics")
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != 200 {
+		resp.Body.Close()
+		return nil
+	}
+	resp.Body.Close()
+	return nil
+}
+
+// leakPerIteration skips the close when it continues early.
+func leakPerIteration(paths []string) {
+	for _, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			continue
+		}
+		if len(p) > 3 {
+			continue
+		}
+		f.Close()
+	}
+}
+
+// deferClosed hands the close to a deferred closure: clean.
+func deferClosed(dir string) error {
+	f, err := os.CreateTemp(dir, "tmp-*")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		f.Close()
+	}()
+	_, err = f.Write([]byte("x"))
+	return err
+}
+
+// handedOff transfers ownership to a consumer that closes: clean.
+func handedOff(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	return consume(f)
+}
+
+func consume(f *os.File) error {
+	defer f.Close()
+	return nil
+}
+
+// leakListener holds the port until process exit.
+func leakListener() {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return
+	}
+	_ = ln.Addr()
+}
+
+type cache struct {
+	mu  sync.Mutex
+	dir string
+	set map[string][]byte
+}
+
+// flushUnderLock touches the disk while holding mu.
+func (c *cache) flushUnderLock(key string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return os.WriteFile(c.dir+"/"+key, c.set[key], 0o644)
+}
+
+// persistThroughHelper reaches the disk through a module-local callee.
+func (c *cache) persistThroughHelper(key string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return writeOut(c.dir, c.set[key])
+}
+
+func writeOut(dir string, b []byte) error {
+	return os.WriteFile(dir+"/out", b, 0o644)
+}
+
+// snapshotThenWrite releases the lock before touching the disk: clean.
+func (c *cache) snapshotThenWrite(key string) error {
+	c.mu.Lock()
+	b := c.set[key]
+	c.mu.Unlock()
+	return os.WriteFile(c.dir+"/"+key, b, 0o644)
+}

@@ -1,0 +1,175 @@
+// Package fixture seeds one violation of every wiresafe diagnostic class
+// over a self-contained WireTypes manifest: silent-drop and decoder-invented
+// codec fields, an uncovered field, stale and bare nonwire annotations on
+// both codec and tags types, asymmetric codec halves, unaudited off-wire
+// tags fields, a non-finite type without a codec, raw floats on a non-finite
+// wire struct (plus bare and stale finite annotations), direct non-finite
+// copies into plain wire fields, dead and malformed manifest entries, and an
+// unlisted codec. Clean twins prove each rule's negative space. Expected
+// diagnostics live in expect.txt.
+package fixture
+
+import "encoding/json"
+
+// WireTypes is this fixture's manifest. The last three entries are dead or
+// malformed on purpose.
+var WireTypes = map[string][]string{
+	"fixture/wiresafe.Record":  {},
+	"fixture/wiresafe.OnlyMar": {},
+	"fixture/wiresafe.OnlyUnm": {},
+	"fixture/wiresafe.Tags":    {},
+	"fixture/wiresafe.NF":      {"nonfinite"},
+	"fixture/wiresafe.NFTags":  {"nonfinite"},
+	"fixture/wiresafe.Plain":   {},
+	"fixture/wiresafe.Deco":    {},
+	"fixture/wiresafe.Scalar":  {},
+	"fixture/wiresafe.Missing": {},
+	"fixture/other.Gone":       {},
+	"badkey":                   {},
+}
+
+// Record has a full codec pair whose halves disagree with the struct.
+type Record struct {
+	// Kept rides both halves: clean.
+	Kept int
+	// Carried is wired too, so the annotation below is stale.
+	//tmi3dvet:nonwire fixture: stale — the codec pair does carry it
+	Carried int
+	// Dropped is marshaled but never restored: the silent-drop class.
+	Dropped int
+	// invent is written by the decoder but never marshaled.
+	invent int
+	// Ghost is covered by neither half.
+	Ghost int
+	// Skip is legitimately off the wire, reason given: clean.
+	//tmi3dvet:nonwire fixture: scratch counter rebuilt lazily by the consumer
+	Skip int
+	//tmi3dvet:nonwire
+	Bare int
+}
+
+type recordJSON struct {
+	Kept    int `json:"kept"`
+	Carried int `json:"carried"`
+	Dropped int `json:"dropped"`
+}
+
+func (r Record) MarshalJSON() ([]byte, error) {
+	return json.Marshal(recordJSON{Kept: r.Kept, Carried: r.Carried, Dropped: r.Dropped})
+}
+
+func (r *Record) UnmarshalJSON(b []byte) error {
+	var in recordJSON
+	if err := json.Unmarshal(b, &in); err != nil {
+		return err
+	}
+	r.Kept = in.Kept
+	r.Carried = in.Carried
+	r.invent = len(b)
+	return nil
+}
+
+// OnlyMar writes bytes nothing can decode back.
+type OnlyMar struct{ A int }
+
+func (o OnlyMar) MarshalJSON() ([]byte, error) { return json.Marshal(o.A) }
+
+// OnlyUnm decodes bytes nothing encodes.
+type OnlyUnm struct{ B int }
+
+func (o *OnlyUnm) UnmarshalJSON(b []byte) error { return json.Unmarshal(b, &o.B) }
+
+// Tags rides plain encoding/json; the off-wire fields must be audited.
+type Tags struct {
+	On     int `json:"on"`
+	Off    int `json:"-"`
+	hidden int
+	// Audited is the clean exclusion: off the wire with a reason.
+	//tmi3dvet:nonwire fixture: mirror of On kept for the old call sites
+	Audited int `json:"-"`
+	// StaleTag IS serialized, so the annotation below is stale.
+	//tmi3dvet:nonwire fixture: stale — encoding/json does serialize it
+	StaleTag int `json:"stale"`
+	//tmi3dvet:nonwire
+	BareTag int `json:"-"`
+}
+
+// NF carries possibly non-finite floats through a custom codec, but its wire
+// struct keeps raw floats.
+type NF struct {
+	WNS  float64
+	Note string
+}
+
+type nfJSON struct {
+	// WNS stays a raw float on the wire: the seeded escape hatch.
+	WNS float64 `json:"wns"`
+	// Fine is clamped by the encoder before assignment: clean.
+	//tmi3dvet:finite fixture: every write routes through clamp()
+	Fine float64 `json:"fine"`
+	// Name is not a float, so the annotation below is stale.
+	//tmi3dvet:finite fixture: stale — strings have no non-finite values
+	Name string `json:"name"`
+	//tmi3dvet:finite
+	Bad float64 `json:"bad"`
+}
+
+func (n NF) MarshalJSON() ([]byte, error) {
+	return json.Marshal(nfJSON{WNS: n.WNS, Fine: clamp(n.WNS), Name: n.Note, Bad: 0})
+}
+
+func (n *NF) UnmarshalJSON(b []byte) error {
+	var in nfJSON
+	if err := json.Unmarshal(b, &in); err != nil {
+		return err
+	}
+	n.WNS = in.WNS
+	n.Note = in.Name
+	return nil
+}
+
+func clamp(v float64) float64 { return v }
+
+// NFTags declares non-finite values possible but has no codec to carry them.
+type NFTags struct {
+	Val float64 `json:"val"`
+}
+
+// Plain is a tag-encoded target for the non-finite copy check.
+type Plain struct {
+	Worst float64 `json:"worst"`
+	Count int     `json:"count"`
+}
+
+// assemble copies NF.WNS into Plain.Worst three ways: a direct assignment
+// and a keyed composite literal (both flagged) and a clamped copy (clean).
+func assemble(n NF) Plain {
+	var p Plain
+	p.Worst = n.WNS
+	q := Plain{Worst: n.WNS, Count: 1}
+	r := Plain{Worst: clamp(n.WNS), Count: q.Count}
+	return r
+}
+
+// Deco pairs a marshal method with a package-level decode function — the
+// liberty.DecodeJSON shape. Clean.
+type Deco struct{ N int }
+
+func (d *Deco) EncodeJSON() ([]byte, error) { return json.Marshal(d.N) }
+
+// DecodeDeco is Deco's unmarshal half.
+func DecodeDeco(b []byte) (*Deco, error) {
+	var d Deco
+	err := json.Unmarshal(b, &d.N)
+	return &d, err
+}
+
+// Scalar is listed in the manifest but is not a struct.
+type Scalar int
+
+// Rogue has a full codec pair but no manifest entry.
+type Rogue struct{ X int }
+
+func (r Rogue) MarshalJSON() ([]byte, error) { return json.Marshal(r.X) }
+
+func (r *Rogue) UnmarshalJSON(b []byte) error { return json.Unmarshal(b, &r.X) }

@@ -35,6 +35,17 @@
 //     captures, WaitGroup.Add placement, send-without-receive leak shapes,
 //     unlocked shared writes in spawned closures, unbounded per-element
 //     spawns.
+//   - wiresafe: wire-format totality over the flow.WireTypes manifest —
+//     every type whose encoded bytes cross a process boundary has its struct
+//     fields diffed against what its codec pair actually reads and writes
+//     (silent-drop fields, decoder-invented fields, asymmetric pairs,
+//     unaudited off-wire fields, raw non-finite floats) — the soundness
+//     proof for shipping artifacts between nodes (ROADMAP item 2).
+//   - ctxdisc: cancellation and resource discipline in the serving/store/
+//     engine packages a fleet amplifies — goroutines no drain can reach,
+//     dropped contexts, timer leaks, handles not closed on every path
+//     (branch-sensitive through the err-check idiom), and blocking I/O
+//     while holding a mutex.
 //
 // cmd/tmi3dvet runs the suite over the whole module; scripts/check.sh gates
 // CI on a clean report.
@@ -57,7 +68,7 @@ type Analyzer struct {
 }
 
 // All is the full analyzer suite in reporting order.
-var All = []*Analyzer{MapOrder, LockOrder, SeedPurity, KeyCoverage, StageDeps, GlobalMut, ParSafe, GoDisc}
+var All = []*Analyzer{MapOrder, LockOrder, SeedPurity, KeyCoverage, StageDeps, GlobalMut, ParSafe, GoDisc, WireSafe, CtxDisc}
 
 // deterministicPkgs lists the module-relative package paths whose output
 // feeds the byte-identity contract: any map-iteration order or impure seed
@@ -99,6 +110,24 @@ func GlobalStateScoped(importPath string) bool {
 	return pathIn(importPath, globalStatePkgs)
 }
 
+// ctxPkgs lists the packages ctxdisc polices: the serving daemon, the
+// persistent store, the staged engine, and the load harness — the four
+// surfaces ROADMAP item 2 multiplies across a node fleet, where an orphan
+// goroutine, a leaked handle, or lock-held I/O scales from an annoyance to
+// an outage.
+var ctxPkgs = []string{
+	"internal/serve",
+	"internal/castore",
+	"internal/stage",
+	"cmd/loadgen",
+}
+
+// CtxScoped reports whether ctxdisc audits the package's cancellation and
+// resource discipline.
+func CtxScoped(importPath string) bool {
+	return pathIn(importPath, ctxPkgs)
+}
+
 func pathIn(importPath string, set []string) bool {
 	for _, s := range set {
 		if importPath == s || strings.HasSuffix(importPath, "/"+s) {
@@ -133,6 +162,7 @@ type Pass struct {
 	exportStage   func(StageReads)
 	exportParLoop func(ParLoop)
 	exportParEnt  func(parEntry)
+	exportWire    func(WireFact)
 }
 
 // ExportStage publishes one computed stage read set (stagedeps). It is a
@@ -153,6 +183,13 @@ func (p *Pass) ExportParLoop(pl ParLoop) {
 func (p *Pass) exportParEntry(e parEntry) {
 	if p.exportParEnt != nil {
 		p.exportParEnt(e)
+	}
+}
+
+// ExportWire publishes one proven wire-type fact (wiresafe).
+func (p *Pass) ExportWire(wf WireFact) {
+	if p.exportWire != nil {
+		p.exportWire(wf)
 	}
 }
 
@@ -215,6 +252,10 @@ type Result struct {
 	Diags    []Diagnostic
 	Stages   []StageReads
 	ParLoops []ParLoop
+	// WireTypes is the proven wire surface: one fact per flow.WireTypes
+	// manifest entry, recording the codec kind and which fields round-trip
+	// versus which are audited off the wire (wiresafe).
+	WireTypes []WireFact
 }
 
 // Options narrows an Analyze run for fast iteration on one package or loop.
@@ -265,6 +306,7 @@ func AnalyzeOpts(mod *Module, opts Options) *Result {
 				exportStage:   func(sr StageReads) { res.Stages = append(res.Stages, sr) },
 				exportParLoop: func(pl ParLoop) { res.ParLoops = append(res.ParLoops, pl) },
 				exportParEnt:  func(e parEntry) { entries = append(entries, e) },
+				exportWire:    func(wf WireFact) { res.WireTypes = append(res.WireTypes, wf) },
 			}
 			a.Run(pass)
 		}
@@ -307,6 +349,9 @@ func AnalyzeOpts(mod *Module, opts Options) *Result {
 			return a.Func < b.Func
 		}
 		return a.Stage < b.Stage
+	})
+	sort.Slice(res.WireTypes, func(i, j int) bool {
+		return res.WireTypes[i].Type < res.WireTypes[j].Type
 	})
 	return res
 }

@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"tmi3d/internal/flow"
 )
 
 var update = flag.Bool("update", false, "rewrite the fixture expect.txt golden files")
@@ -363,6 +365,37 @@ func TestRepoClean(t *testing.T) {
 	if pl := loops["sta.loads"]; !contains(pl.Writes, "res.Load[i]") {
 		t.Errorf("sta.loads writes = %v, want the iteration-partitioned res.Load[i]", pl.Writes)
 	}
+	// The wire manifest must have fully resolved: every flow.WireTypes entry
+	// exports a WireFact (a missing fact means wiresafe silently skipped the
+	// totality proof for that type), and the audited off-wire fields keep
+	// their proven shape.
+	facts := map[string]WireFact{}
+	for _, wf := range res.WireTypes {
+		facts[wf.Type] = wf
+	}
+	for key := range flow.WireTypes {
+		if _, ok := facts["tmi3d/"+key]; !ok {
+			t.Errorf("manifest wire type %q exported no WireFact", key)
+		}
+	}
+	if len(res.WireTypes) != len(flow.WireTypes) {
+		t.Errorf("exported %d wire facts for %d manifest entries", len(res.WireTypes), len(flow.WireTypes))
+	}
+	if sr := facts["tmi3d/internal/sta.Result"]; sr.Kind != "codec" || !contains(sr.Attrs, "nonfinite") {
+		t.Errorf("sta.Result wire fact = kind %q attrs %v, want the non-finite-aware codec", sr.Kind, sr.Attrs)
+	}
+	if lib := facts["tmi3d/internal/liberty.Library"]; lib.Kind != "codec" || !contains(lib.NonWire, "byBase") {
+		t.Errorf("liberty.Library wire fact = kind %q nonwire %v, want the codec with byBase audited off", lib.Kind, lib.NonWire)
+	}
+	if des := facts["tmi3d/internal/netlist.Design"]; des.Kind != "codec" || !contains(des.NonWire, "netIndex") {
+		t.Errorf("netlist.Design wire fact = kind %q nonwire %v, want the codec with netIndex audited off", des.Kind, des.NonWire)
+	}
+	if fr := facts["tmi3d/internal/flow.Result"]; fr.Kind != "tags" || !contains(fr.NonWire, "StageTimes") {
+		t.Errorf("flow.Result wire fact = kind %q nonwire %v, want tags with StageTimes audited off", fr.Kind, fr.NonWire)
+	}
+	if fc := facts["tmi3d/internal/flow.Config"]; fc.Kind != "tags" || !contains(fc.NonWire, "Workers") {
+		t.Errorf("flow.Config wire fact = kind %q nonwire %v, want tags with Workers audited off", fc.Kind, fc.NonWire)
+	}
 }
 
 func TestParSafeFixture(t *testing.T) {
@@ -466,6 +499,108 @@ func TestGoDiscFixture(t *testing.T) {
 	}
 }
 
+func TestWireSafeFixture(t *testing.T) {
+	diags := runFixture(t, "wiresafe", "fixture/wiresafe", WireSafe)
+	for _, want := range []string{
+		"never restored by",                      // silent drop: Record.Dropped
+		"but never marshaled by",                 // decoder invents: Record.invent
+		"is not covered by the",                  // uncovered: Record.Ghost
+		"stale //tmi3dvet:nonwire on Record",     // wired codec field annotated
+		"stale //tmi3dvet:nonwire on Tags",       // serialized tags field annotated
+		"no unmarshal counterpart",               // OnlyMar
+		"no marshal counterpart",                 // OnlyUnm
+		"excluded from the wire",                 // Tags.Off / Tags.hidden
+		"has no custom codec",                    // NFTags nonfinite without codec
+		"raw float field",                        // nfJSON.WNS
+		"//tmi3dvet:finite suppression without",  // nfJSON.Bad
+		"stale //tmi3dvet:finite",                // nfJSON.Name (not a float)
+		"copied into plain-JSON wire field",      // assemble()
+		"is not of the form",                     // badkey
+		"no module package matches",              // fixture/other.Gone
+		"declares no type",                       // Missing
+		"is not a struct type",                   // Scalar
+		"manifest does not name it",              // Rogue
+		"//tmi3dvet:nonwire suppression without", // Record.Bare / Tags.BareTag
+	} {
+		if !hasDiag(diags, want) {
+			t.Errorf("wiresafe fixture lost the %q diagnostic class", want)
+		}
+	}
+	// The clean shapes stay silent: the fully wired fields, the reasoned
+	// exclusions, the clamped copy, and the method+Decode* codec pair.
+	for _, clean := range []string{"Kept", "Skip", "Deco", "Fine"} {
+		for _, d := range diags {
+			if strings.Contains(d.Message, clean) {
+				t.Errorf("clean shape %q was reported: %s", clean, d)
+			}
+		}
+	}
+	// Exactly the assignment and the composite-literal copy are lexical
+	// violations; the clamp()-wrapped twin must not be.
+	n := 0
+	for _, d := range diags {
+		if strings.Contains(d.Message, "copied into plain-JSON") {
+			n++
+		}
+	}
+	if n != 2 {
+		t.Errorf("non-finite copy reported %d times, want exactly 2 (the clamped twin was flagged)", n)
+	}
+}
+
+func TestCtxDiscFixture(t *testing.T) {
+	diags := runFixture(t, "ctxdisc", "fixture/internal/serve", CtxDisc)
+	for _, want := range []string{
+		"a context.Context it never uses", // dropped
+		"no cancellation path",            // orphan
+		"time.Sleep in context-bearing",   // sleeper
+		"time.After inside a loop",        // ticker
+		"is never stopped",                // unstopped
+		"is not closed on the path",       // leaked handles
+		"blocking I/O",                    // flushUnderLock / persistThroughHelper
+		"suppression without a reason",    // bareAudit
+		"stale //tmi3dvet:ctxdisc",        // staleAudit
+	} {
+		if !hasDiag(diags, want) {
+			t.Errorf("ctxdisc fixture lost the %q diagnostic class", want)
+		}
+	}
+	// Each generic class fires only from its seeded sites — a higher count
+	// means a clean twin (bounded, threaded, pool, closedBothArms,
+	// deferClosed, handedOff, stopped, snapshotThenWrite) was flagged.
+	for want, n := range map[string]int{
+		"no cancellation path":      1, // orphan only; audited and bareAudit are suppressed
+		"is not closed on the path": 3, // disjunction return, loop continue, function end
+		"blocking I/O":              2, // direct write and the writeOut helper
+		"is never stopped":          1, // unstopped only; stopped defers Stop
+	} {
+		got := 0
+		for _, d := range diags {
+			if strings.Contains(d.Message, want) {
+				got++
+			}
+		}
+		if got != n {
+			t.Errorf("%q reported %d times, want exactly %d (a clean twin was flagged)", want, got, n)
+		}
+	}
+}
+
+func TestCtxScoped(t *testing.T) {
+	for path, want := range map[string]bool{
+		"tmi3d/internal/serve":   true, // owns the HTTP lifecycle
+		"tmi3d/internal/castore": true, // owns file handles
+		"tmi3d/internal/stage":   true,
+		"tmi3d/cmd/loadgen":      true,
+		"tmi3d/internal/flow":    false, // deterministic core: no I/O to discipline
+		"tmi3d/cmd/tmi3d":        false,
+	} {
+		if got := CtxScoped(path); got != want {
+			t.Errorf("CtxScoped(%q) = %v, want %v", path, got, want)
+		}
+	}
+}
+
 // TestNoDoubleSuppressionReports pins the directive-ownership contract from
 // suppress.go: every fixture package is scanned by the full suite, and no
 // bare/stale-suppression diagnostic may appear twice — which is exactly what
@@ -480,6 +615,8 @@ func TestNoDoubleSuppressionReports(t *testing.T) {
 		"globalmut":   "fixture/internal/liberty",
 		"parsafe":     "fixture/parsafe",
 		"godisc":      "fixture/godisc",
+		"wiresafe":    "fixture/wiresafe",
+		"ctxdisc":     "fixture/internal/serve",
 	}
 	dirs := make([]string, 0, len(fixtures))
 	for dir := range fixtures {

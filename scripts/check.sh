@@ -35,10 +35,12 @@ stage tmi3dvet
 # The repo's own analyzers: map-iteration order, lock ordering (RWMutex-mode
 # aware), seed purity, cache-key coverage, per-stage key soundness
 # (stagedeps), global-state purity (globalmut), parallel-loop safety over the
-# flow.ParLoops anchors (parsafe), and goroutine discipline (godisc). A
-# single unsuppressed diagnostic fails the gate; the
-# -counts tail prints one line per analyzer so the log shows every check ran.
-# Run `go run ./cmd/tmi3dvet -list` for the suite and the suppression syntax.
+# flow.ParLoops anchors (parsafe), goroutine discipline (godisc), wire-format
+# totality over the flow.WireTypes manifest (wiresafe), and cancellation/
+# resource discipline in the serving stack (ctxdisc). A single unsuppressed
+# diagnostic fails the gate; the -counts tail prints one line per analyzer so
+# the log shows every check ran. Run `go run ./cmd/tmi3dvet -list` for the
+# suite and the suppression syntax.
 go run ./cmd/tmi3dvet -counts ./...
 
 stage race
@@ -108,6 +110,13 @@ for pass in cold warm; do
         done
     done
 done
+
+stage wire-identity
+# The runtime counterpart of the wiresafe proof: run one real flow through
+# the staged engine, then replay every cached artifact's stored bytes
+# through decode -> re-encode and diff (plus the library codec and a castore
+# Put/Get round trip). Any divergence exits non-zero.
+go run ./cmd/tmi3d wireid -circuit FPU -scale 0.1
 
 stage equiv-smoke
 # Formal sign-off must prove the smallest benchmark's mapped netlist and pass
